@@ -1,0 +1,52 @@
+// Figure 12: scalability of TSD-index construction and TSD search on
+// synthetic power-law graphs with |E| = 5|V| and growing |V| (the paper
+// sweeps 1M..10M vertices with the PythonWeb generator; we sweep a
+// scale-appropriate range with Barabási–Albert, the same model family).
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/tsd_index.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace tsd;
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string scale = flags.BenchScale();
+  const auto k = static_cast<std::uint32_t>(flags.GetInt("k", 3));
+  const auto r = static_cast<std::uint32_t>(flags.GetInt("r", 100));
+  bench::PrintHeader("Figure 12",
+                     "scalability on power-law graphs, |E| = 5|V|", scale);
+  std::cout << "k=" << k << " r=" << r << "\n\n";
+
+  std::vector<VertexId> sizes;
+  if (scale == "tiny") {
+    sizes = {2000, 4000, 6000};
+  } else if (scale == "large") {
+    sizes = {100000, 200000, 400000, 600000, 800000, 1000000};
+  } else {
+    sizes = {20000, 40000, 60000, 80000, 100000};
+  }
+
+  TablePrinter table({"|V|", "|E|", "index build", "TSD query"});
+  for (VertexId n : sizes) {
+    const Graph g = BarabasiAlbert(n, 5, /*seed=*/n);
+    TsdIndex tsd = TsdIndex::Build(g);
+    const double query =
+        tsd.TopR(std::min<std::uint32_t>(r, n), k).stats.total_seconds;
+    table.Row(WithThousands(n), WithThousands(g.num_edges()),
+              HumanSeconds(tsd.build_stats().total_seconds),
+              HumanSeconds(query));
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): both build and query scale "
+               "near-linearly with |V|.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,79 @@
+// Figure 3: the number of edges at each edge-trussness value on four
+// real-world graphs (Wiki-Vote, Email-Enron, Gowalla, Epinions), showing the
+// heavy-tailed trussness distribution that makes graph sparsification
+// effective. Also reports the paper's companion statistic: the fraction of
+// edges and isolated vertices removed by sparsification at k = 5.
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "truss/k_truss.h"
+
+namespace {
+
+using namespace tsd;
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string scale = flags.BenchScale();
+  const std::uint32_t sparsify_k =
+      static_cast<std::uint32_t>(flags.GetInt("k", 5));
+  bench::PrintHeader("Figure 3", "edge trussness distribution", scale);
+
+  const std::vector<std::string> datasets = {"wiki-vote", "email-enron",
+                                             "gowalla", "epinions"};
+
+  TablePrinter table({"trussness", "Wiki-Vote", "Email-Enron", "Gowalla",
+                      "Epinions"});
+  std::vector<std::vector<std::uint64_t>> histograms;
+  std::uint32_t max_t = 0;
+  double removed_edges_fraction = 0;
+  double removed_vertices_fraction = 0;
+  for (const auto& name : datasets) {
+    const Graph g = MakeDataset(name, scale);
+    TrussDecomposition td(g);
+    histograms.push_back(td.TrussnessHistogram());
+    max_t = std::max(max_t, td.max_trussness());
+
+    // Sparsification statistics at k (Property 1 removes tau <= k).
+    std::uint64_t removed_edges = 0;
+    for (std::uint32_t t = 0; t <= sparsify_k && t < histograms.back().size();
+         ++t) {
+      removed_edges += histograms.back()[t];
+    }
+    removed_edges_fraction +=
+        static_cast<double>(removed_edges) / g.num_edges();
+    const Graph reduced = KTrussSubgraph(g, td.edge_trussness(), sparsify_k + 1);
+    std::uint64_t isolated = 0;
+    for (VertexId v = 0; v < reduced.num_vertices(); ++v) {
+      isolated += reduced.degree(v) == 0 && g.degree(v) > 0;
+    }
+    removed_vertices_fraction +=
+        static_cast<double>(isolated) / g.num_vertices();
+  }
+
+  for (std::uint32_t t = 2; t <= max_t; ++t) {
+    std::vector<std::string> row = {std::to_string(t)};
+    for (const auto& histogram : histograms) {
+      row.push_back(t < histogram.size() ? std::to_string(histogram[t]) : "0");
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nGraph sparsification at k=" << sparsify_k
+            << " (paper: ~45% edges, ~6.8% isolated nodes on these four):\n"
+            << "  avg removed edges:          "
+            << FormatDouble(100.0 * removed_edges_fraction / datasets.size(), 1)
+            << "%\n"
+            << "  avg isolated nodes removed: "
+            << FormatDouble(
+                   100.0 * removed_vertices_fraction / datasets.size(), 1)
+            << "%\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,66 @@
+// Figure 8: running time of all six methods (baseline, bound, TSD, GCT,
+// Comp-Div, Core-Div) as the trussness threshold k varies in {2..6}, on the
+// paper's three plot datasets (Gowalla, LiveJournal, Orkut). Index build
+// time is excluded (the paper plots query time; Table 3 covers builds).
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/baselines.h"
+#include "core/bound_search.h"
+#include "core/gct_index.h"
+#include "core/online_search.h"
+#include "core/tsd_index.h"
+
+namespace {
+
+using namespace tsd;
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string scale = flags.BenchScale();
+  const auto r = static_cast<std::uint32_t>(flags.GetInt("r", 100));
+  const bool skip_baseline = flags.GetBool("skip-baseline", false);
+  bench::PrintHeader("Figure 8", "query time vs k for all methods", scale);
+  std::cout << "r=" << r << "\n";
+
+  for (const auto& name : PlotDatasetNames()) {
+    const Graph g = MakeDataset(name, scale);
+    const std::uint32_t effective_r =
+        std::min<std::uint32_t>(r, g.num_vertices());
+    std::cout << "\n--- " << name << " (|V|=" << WithThousands(g.num_vertices())
+              << ", |E|=" << WithThousands(g.num_edges()) << ") ---\n";
+
+    OnlineSearcher baseline(g);
+    BoundSearcher bound(g);
+    TsdIndex tsd = TsdIndex::Build(g);
+    GctIndex gct = GctIndex::Build(g);
+    CompDivSearcher comp(g);
+    CoreDivSearcher core(g);
+
+    TablePrinter table({"k", "baseline", "bound", "TSD", "GCT", "Comp-Div",
+                        "Core-Div"});
+    for (std::uint32_t k = 2; k <= 6; ++k) {
+      const std::string baseline_time =
+          skip_baseline
+              ? "-"
+              : HumanSeconds(baseline.TopR(effective_r, k).stats.total_seconds);
+      table.Row(
+          std::uint64_t{k}, baseline_time,
+          HumanSeconds(bound.TopR(effective_r, k).stats.total_seconds),
+          HumanSeconds(tsd.TopR(effective_r, k).stats.total_seconds),
+          HumanSeconds(gct.TopR(effective_r, k).stats.total_seconds),
+          HumanSeconds(comp.TopR(effective_r, k).stats.total_seconds),
+          HumanSeconds(core.TopR(effective_r, k).stats.total_seconds));
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper): GCT fastest for every k, then TSD; "
+               "bound < baseline;\nComp-Div/Core-Div between bound and the "
+               "index methods on large graphs.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,71 @@
+// Table 4: construction-phase breakdown of TSD vs GCT — ego-network
+// extraction time (per-vertex marking vs one-shot global triangle listing)
+// and ego-network truss decomposition time (hash vs bitmap kernel).
+// This is the ablation for the two Section 6.2 accelerations.
+#include <cstdint>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/gct_index.h"
+#include "core/tsd_index.h"
+
+namespace {
+
+using namespace tsd;
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string scale = flags.BenchScale();
+  bench::PrintHeader(
+      "Table 4", "ego-network extraction + decomposition time, TSD vs GCT",
+      scale);
+
+  TablePrinter table({"Network", "Extract TSD", "Extract GCT", "Decomp TSD",
+                      "Decomp GCT"});
+  for (const auto& name : bench::BenchDatasets(scale)) {
+    const Graph g = MakeDataset(name, scale);
+    TsdIndex tsd = TsdIndex::Build(g);
+    GctIndex gct = GctIndex::Build(g);
+    table.Row(name, HumanSeconds(tsd.build_stats().extraction_seconds),
+              HumanSeconds(gct.build_stats().extraction_seconds),
+              HumanSeconds(tsd.build_stats().decomposition_seconds),
+              HumanSeconds(gct.build_stats().decomposition_seconds));
+  }
+  table.Print(std::cout);
+
+  // Ablation: GCT with each acceleration disabled, on one mid-size graph.
+  const std::string ablation_dataset = "gowalla";
+  const Graph g = MakeDataset(ablation_dataset, scale);
+  GctIndex::Options no_listing;
+  no_listing.use_global_listing = false;
+  GctIndex::Options hash_kernel;
+  hash_kernel.method = EgoTrussMethod::kHash;
+  GctIndex full = GctIndex::Build(g);
+  GctIndex ablate_listing = GctIndex::Build(g, no_listing);
+  GctIndex ablate_bitmap = GctIndex::Build(g, hash_kernel);
+
+  std::cout << "\nAblation on " << ablation_dataset
+            << " (total build seconds):\n";
+  TablePrinter ablation({"variant", "extract", "decomp", "total"});
+  ablation.Row("GCT (listing+bitmap)",
+               HumanSeconds(full.build_stats().extraction_seconds),
+               HumanSeconds(full.build_stats().decomposition_seconds),
+               HumanSeconds(full.build_stats().total_seconds));
+  ablation.Row("no global listing",
+               HumanSeconds(ablate_listing.build_stats().extraction_seconds),
+               HumanSeconds(ablate_listing.build_stats().decomposition_seconds),
+               HumanSeconds(ablate_listing.build_stats().total_seconds));
+  ablation.Row("hash kernel",
+               HumanSeconds(ablate_bitmap.build_stats().extraction_seconds),
+               HumanSeconds(ablate_bitmap.build_stats().decomposition_seconds),
+               HumanSeconds(ablate_bitmap.build_stats().total_seconds));
+  ablation.Print(std::cout);
+  std::cout << "\nExpected shape (paper): GCT extraction ≈ 2-10x faster than "
+               "TSD's per-vertex\nextraction; bitmap decomposition faster "
+               "than hash on triangle-dense graphs.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,59 @@
+// Collaboration-network analysis (the paper's DBLP case study, Exp-10):
+// find the researcher whose co-author neighborhood spans the most distinct
+// research groups, and print the groups. Also contrasts with the
+// component-based and core-based models, which fail to decompose the same
+// ego-network.
+#include <iostream>
+
+#include "core/gct_index.h"
+#include "core/scoring.h"
+#include "graph/ego_network.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace tsd;
+
+  CollaborationOptions options;
+  options.num_authors = 20000;
+  options.num_groups = 1600;
+  options.num_hubs = 12;
+  options.groups_per_hub = 6;
+  const CollaborationGraph collab = Collaboration(options, /*seed=*/42);
+  const Graph& graph = collab.graph;
+  std::cout << "collaboration network: " << graph.num_vertices()
+            << " authors, " << graph.num_edges() << " co-author pairs, "
+            << collab.groups.size() << " research groups\n";
+
+  const std::uint32_t k = 5;
+  GctIndex index = GctIndex::Build(graph);
+  const TopRResult top = index.TopR(/*r=*/5, k);
+
+  std::cout << "\nmost interdisciplinary authors (k=" << k << "):\n";
+  for (const TopREntry& entry : top.entries) {
+    std::cout << "  author-" << entry.vertex << ": " << entry.score
+              << " research communities, sizes:";
+    for (const SocialContext& context : entry.contexts) {
+      std::cout << " " << context.size();
+    }
+    std::cout << "\n";
+  }
+
+  // The paper's point (Exp-10/11): on the same ego-network, the component
+  // model sees one blob and the core model merges groups through bridging
+  // co-authors; only the truss model separates the communities.
+  const VertexId star = top.entries[0].vertex;
+  EgoNetworkExtractor extractor(graph);
+  EgoNetwork ego = extractor.Extract(star);
+  const ScoreResult components = ScoreComponents(ego, k, false);
+  const ScoreResult cores = ScoreKCores(ego, k - 1, false);
+  std::cout << "\nego-network of author-" << star << " ("
+            << ego.num_members() << " co-authors, " << ego.num_edges()
+            << " pairs):\n"
+            << "  component model (size>=" << k
+            << "): " << components.score << " context(s)\n"
+            << "  core model ((k-1)-cores):  " << cores.score
+            << " context(s)\n"
+            << "  truss model (k-trusses):   " << top.entries[0].score
+            << " context(s)\n";
+  return 0;
+}

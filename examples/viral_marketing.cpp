@@ -1,0 +1,63 @@
+// Viral marketing scenario (the paper's §1 motivation): pick campaign
+// targets by truss-based structural diversity — users exposed to a message
+// from several independent social contexts are the likeliest to adopt —
+// and verify with an independent-cascade simulation that the high-diversity
+// targets really do activate more often than random or degree-based picks.
+#include <iostream>
+
+#include "core/baselines.h"
+#include "core/gct_index.h"
+#include "graph/generators.h"
+#include "influence/contagion_experiments.h"
+#include "influence/independent_cascade.h"
+#include "influence/influence_max.h"
+
+int main() {
+  using namespace tsd;
+
+  // A mid-sized synthetic social network with power-law degrees and high
+  // clustering (the regime where truss structure is informative).
+  const Graph graph = HolmeKim(/*n=*/20000, /*edges_per_vertex=*/6,
+                               /*triad_probability=*/0.6, /*seed=*/2026);
+  std::cout << "social network: " << graph.num_vertices() << " users, "
+            << graph.num_edges() << " friendships\n";
+
+  // The campaign's initial broadcasters: 50 influence-maximization seeds.
+  RisOptions ris;
+  ris.probability = 0.02;
+  ris.num_samples = 20000;
+  const std::vector<VertexId> broadcasters = SelectSeedsRis(graph, 50, ris);
+
+  // Candidate audiences to track: top-100 by truss diversity vs random.
+  GctIndex index = GctIndex::Build(graph);
+  TopRResult diverse = index.TopR(/*r=*/100, /*k=*/4);
+  std::vector<VertexId> diverse_targets;
+  for (const TopREntry& e : diverse.entries) diverse_targets.push_back(e.vertex);
+  const std::vector<VertexId> random_targets = RandomSelect(graph, 100, 7);
+  const std::vector<VertexId> degree_targets = SelectSeedsByDegree(graph, 100);
+
+  IndependentCascade cascade(graph, /*probability=*/0.02);
+  const std::uint32_t runs = 2000;
+  std::cout << "\nexpected number of the 100 tracked users reached by the "
+               "campaign ("
+            << runs << " Monte-Carlo runs):\n";
+  std::cout << "  truss-diversity targets: "
+            << ExpectedActivatedTargets(cascade, broadcasters, diverse_targets,
+                                        runs, 1)
+            << "\n  highest-degree targets:  "
+            << ExpectedActivatedTargets(cascade, broadcasters, degree_targets,
+                                        runs, 1)
+            << "\n  random targets:          "
+            << ExpectedActivatedTargets(cascade, broadcasters, random_targets,
+                                        runs, 1)
+            << "\n";
+
+  std::cout << "\nmost diverse user: " << diverse.entries[0].vertex
+            << " participates in " << diverse.entries[0].score
+            << " distinct social contexts of sizes:";
+  for (const SocialContext& context : diverse.entries[0].contexts) {
+    std::cout << " " << context.size();
+  }
+  std::cout << "\n";
+  return 0;
+}

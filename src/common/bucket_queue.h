@@ -1,0 +1,102 @@
+// Monotone bucket queue ("bin sort" structure of CLRS [12], as used by the
+// peeling algorithms in Wang–Cheng truss decomposition and k-core
+// decomposition). Supports O(1) amortized pop-min and decrease-key under the
+// peeling discipline: keys only decrease, and the sequence of popped keys is
+// non-decreasing over time (keys below the current peeling level are clamped
+// to it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tsd {
+
+/// Bucket queue over element ids [0, n) with integer keys.
+///
+/// The structure keeps all elements sorted by key in a flat array with bucket
+/// boundary pointers, exactly like the classic O(m) core-decomposition layout:
+///   order_   : element ids sorted by current key (ascending)
+///   pos_     : position of each element in order_
+///   bucket_  : first position of each key value
+class BucketQueue {
+ public:
+  BucketQueue() = default;
+
+  /// Builds the queue from initial keys. Max key is computed internally.
+  explicit BucketQueue(const std::vector<std::uint32_t>& keys) { Init(keys); }
+
+  void Init(const std::vector<std::uint32_t>& keys) {
+    const std::size_t n = keys.size();
+    key_ = keys;
+    removed_.assign(n, false);
+    max_key_ = 0;
+    for (std::uint32_t k : keys) max_key_ = std::max(max_key_, k);
+
+    // Counting sort.
+    bucket_.assign(max_key_ + 2, 0);
+    for (std::uint32_t k : keys) ++bucket_[k + 1];
+    for (std::size_t b = 1; b < bucket_.size(); ++b) bucket_[b] += bucket_[b - 1];
+    order_.resize(n);
+    pos_.resize(n);
+    std::vector<std::uint32_t> cursor(bucket_.begin(), bucket_.end() - 1);
+    for (std::uint32_t id = 0; id < n; ++id) {
+      const std::uint32_t p = cursor[keys[id]]++;
+      order_[p] = id;
+      pos_[id] = p;
+    }
+    head_ = 0;
+    remaining_ = n;
+  }
+
+  bool Empty() const { return remaining_ == 0; }
+  std::size_t Remaining() const { return remaining_; }
+
+  std::uint32_t Key(std::uint32_t id) const { return key_[id]; }
+  bool Removed(std::uint32_t id) const { return removed_[id]; }
+
+  /// Pops an element with the minimum current key.
+  std::uint32_t PopMin() {
+    TSD_DCHECK(!Empty());
+    while (removed_[order_[head_]]) ++head_;
+    const std::uint32_t id = order_[head_];
+    removed_[id] = true;
+    ++head_;
+    --remaining_;
+    return id;
+  }
+
+  /// Decrements id's key by one, but never below `floor` (the current
+  /// peeling level): elements already scheduled for removal at this level
+  /// keep their key so bucket boundaries stay consistent.
+  void DecreaseKeyClamped(std::uint32_t id, std::uint32_t floor) {
+    TSD_DCHECK(!removed_[id]);
+    const std::uint32_t k = key_[id];
+    if (k <= floor) return;
+    // Swap id with the first element of its bucket, then shrink the bucket.
+    const std::uint32_t bucket_start = std::max(bucket_[k], head_);
+    const std::uint32_t p = pos_[id];
+    const std::uint32_t other = order_[bucket_start];
+    if (other != id) {
+      order_[p] = other;
+      pos_[other] = p;
+      order_[bucket_start] = id;
+      pos_[id] = bucket_start;
+    }
+    bucket_[k] = bucket_start + 1;
+    key_[id] = k - 1;
+  }
+
+ private:
+  std::vector<std::uint32_t> key_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::uint32_t> bucket_;
+  std::vector<bool> removed_;
+  std::uint32_t max_key_ = 0;
+  std::uint32_t head_ = 0;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace tsd

@@ -1,0 +1,17 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace tsd::internal {
+
+void CheckFailed(const char* condition, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream out;
+  out << "TSD_CHECK failed: " << condition << " at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw CheckError(out.str());
+}
+
+}  // namespace tsd::internal

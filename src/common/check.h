@@ -1,0 +1,67 @@
+// Lightweight runtime invariant checking.
+//
+// TSD_CHECK fires in every build type and throws tsd::CheckError so that API
+// misuse is observable (and unit-testable) instead of aborting the process.
+// TSD_DCHECK compiles away in NDEBUG builds and is meant for hot-loop
+// invariants that are too expensive to verify in release binaries.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tsd {
+
+/// Exception thrown when a TSD_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* condition, const char* file,
+                              int line, const std::string& message);
+
+// Tiny ostringstream wrapper so TSD_CHECK_MSG can take `a << b` style
+// message expressions.
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tsd
+
+#define TSD_CHECK(condition)                                          \
+  do {                                                                \
+    if (!(condition)) {                                               \
+      ::tsd::internal::CheckFailed(#condition, __FILE__, __LINE__,    \
+                                   std::string());                    \
+    }                                                                 \
+  } while (false)
+
+#define TSD_CHECK_MSG(condition, message_expr)                        \
+  do {                                                                \
+    if (!(condition)) {                                               \
+      ::tsd::internal::CheckFailed(                                   \
+          #condition, __FILE__, __LINE__,                             \
+          (::tsd::internal::MessageStream() << message_expr).str());  \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define TSD_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define TSD_DCHECK(condition) TSD_CHECK(condition)
+#endif

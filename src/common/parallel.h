@@ -1,0 +1,75 @@
+// Minimal chunked parallel-for used by the parallel index builders.
+//
+// Per-vertex index construction is embarrassingly parallel (every
+// ego-network is independent), so the builders split the vertex range into
+// ordered chunks, process chunks from a shared atomic cursor (cheap dynamic
+// load balancing — hub vertices cluster at low ids in preferential-
+// attachment graphs), and merge per-chunk results in chunk order to keep
+// the output bit-identical to the sequential build.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tsd {
+
+/// Invokes fn(chunk_index, begin, end) for `num_chunks` contiguous ranges
+/// covering [0, total), using `num_threads` workers. fn must be safe to
+/// call concurrently for distinct chunks. Exceptions from workers are
+/// rethrown on the calling thread (first one wins).
+template <typename Fn>
+void ParallelForChunks(std::uint64_t total, std::uint32_t num_chunks,
+                       std::uint32_t num_threads, Fn&& fn) {
+  TSD_CHECK(num_chunks >= 1);
+  TSD_CHECK(num_threads >= 1);
+  if (total == 0) return;
+  num_chunks = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(num_chunks, total));
+  const std::uint64_t chunk_size = (total + num_chunks - 1) / num_chunks;
+
+  if (num_threads == 1) {
+    for (std::uint32_t c = 0; c < num_chunks; ++c) {
+      const std::uint64_t begin = c * chunk_size;
+      const std::uint64_t end = std::min(total, begin + chunk_size);
+      if (begin < end) fn(c, begin, end);
+    }
+    return;
+  }
+
+  std::atomic<std::uint32_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::uint32_t c =
+          next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const std::uint64_t begin = c * chunk_size;
+      const std::uint64_t end = std::min(total, begin + chunk_size);
+      if (begin >= end) continue;
+      try {
+        fn(c, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::uint32_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+  if (failed && first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tsd

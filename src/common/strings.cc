@@ -1,0 +1,88 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace tsd {
+
+std::string HumanBytes(std::uint64_t bytes) {
+  char buffer[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes < 1024) {
+    std::snprintf(buffer, sizeof(buffer), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  } else if (b < 1024.0 * 1024.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fKB", b / 1024.0);
+  } else if (b < 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fMB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2fGB",
+                  b / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buffer;
+}
+
+std::string HumanSeconds(double seconds) {
+  char buffer[32];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fmin", seconds / 60.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2fh", seconds / 3600.0);
+  }
+  return buffer;
+}
+
+std::string WithThousands(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int since_comma = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_comma == 3) {
+      out.push_back(',');
+      since_comma = 0;
+    }
+    out.push_back(*it);
+    ++since_comma;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::vector<std::string> SplitWhitespace(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace tsd

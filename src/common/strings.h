@@ -1,0 +1,29 @@
+// Small string formatting helpers shared by the benchmark harness, table
+// printer, and CLI tools.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsd {
+
+/// "1.2KB", "34.9MB", "1.6GB" — byte counts the way the paper's tables do.
+std::string HumanBytes(std::uint64_t bytes);
+
+/// "7.0ms", "4.9s", "2h46m" — durations the way the paper's tables do.
+std::string HumanSeconds(double seconds);
+
+/// "1,624,481" — thousands separators for large counts.
+std::string WithThousands(std::uint64_t value);
+
+/// Fixed-precision double ("3.14" for (3.14159, 2)).
+std::string FormatDouble(double value, int precision);
+
+/// Splits on any amount of whitespace; no empty tokens.
+std::vector<std::string> SplitWhitespace(const std::string& line);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace tsd

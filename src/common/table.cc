@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace tsd {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TSD_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  TSD_CHECK_MSG(cells.size() == headers_.size(),
+                "row has " << cells.size() << " cells, expected "
+                           << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToCell(double v) { return FormatDouble(v, 2); }
+
+void TablePrinter::Print(std::ostream& out) const { out << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      out << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  auto emit_separator = [&]() {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  emit_separator();
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void PrintBanner(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n";
+}
+
+}  // namespace tsd

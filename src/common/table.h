@@ -1,0 +1,50 @@
+// Column-aligned console tables; every bench binary prints its paper
+// table/figure through this so the output format is uniform.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tsd {
+
+/// Builds an aligned text table incrementally and renders it to a stream.
+///
+/// Usage:
+///   TablePrinter t({"Network", "|V|", "|E|"});
+///   t.AddRow({"Wiki-Vote", "7,115", "103,689"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: converts arithmetic cells to strings.
+  template <typename... Cells>
+  void Row(const Cells&... cells) {
+    AddRow({ToCell(cells)...});
+  }
+
+  void Print(std::ostream& out) const;
+  std::string ToString() const;
+
+ private:
+  static std::string ToCell(const std::string& s) { return s; }
+  static std::string ToCell(const char* s) { return s; }
+  static std::string ToCell(double v);
+  static std::string ToCell(std::uint64_t v) { return std::to_string(v); }
+  static std::string ToCell(std::int64_t v) { return std::to_string(v); }
+  static std::string ToCell(std::uint32_t v) { return std::to_string(v); }
+  static std::string ToCell(std::int32_t v) { return std::to_string(v); }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("==== title ====") to stdout.
+void PrintBanner(const std::string& title);
+
+}  // namespace tsd

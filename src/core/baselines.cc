@@ -1,0 +1,100 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/scoring.h"
+#include "core/top_r_collector.h"
+#include "graph/ego_network.h"
+
+namespace tsd {
+namespace {
+
+/// Shared bound-ordered top-r loop for the two ego-decomposition baselines.
+/// `score_fn(ego, want_contexts)` evaluates the model on one ego-network.
+template <typename ScoreFn>
+TopRResult DegreeBoundedTopR(const Graph& graph, std::uint32_t r,
+                             std::uint32_t divisor, ScoreFn&& score_fn) {
+  WallTimer total;
+  TopRResult result;
+  const VertexId n = graph.num_vertices();
+
+  // Degree bound: each context needs at least `divisor` members.
+  std::vector<std::uint32_t> bounds(n);
+  for (VertexId v = 0; v < n; ++v) bounds[v] = graph.degree(v) / divisor;
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return bounds[a] > bounds[b];
+  });
+
+  EgoNetworkExtractor extractor(graph);
+  EgoNetwork ego;
+  TopRCollector collector(r);
+  {
+    ScopedTimer t(&result.stats.score_seconds);
+    for (VertexId v : order) {
+      if (collector.CanPrune(bounds[v], v)) break;
+      extractor.ExtractInto(v, &ego);
+      const ScoreResult s = score_fn(ego, /*want_contexts=*/false);
+      ++result.stats.vertices_scored;
+      collector.Offer(v, s.score);
+    }
+  }
+  {
+    ScopedTimer t(&result.stats.context_seconds);
+    for (const auto& [vertex, score] : collector.Ranked()) {
+      TopREntry entry;
+      entry.vertex = vertex;
+      entry.score = score;
+      extractor.ExtractInto(vertex, &ego);
+      entry.contexts = score_fn(ego, /*want_contexts=*/true).contexts;
+      result.entries.push_back(std::move(entry));
+    }
+  }
+  result.stats.total_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace
+
+TopRResult CompDivSearcher::TopR(std::uint32_t r, std::uint32_t k) {
+  TSD_CHECK(r >= 1);
+  TSD_CHECK(k >= 1);
+  return DegreeBoundedTopR(
+      graph_, r, std::max(1U, k),
+      [k](EgoNetwork& ego, bool want_contexts) {
+        return ScoreComponents(ego, k, want_contexts);
+      });
+}
+
+TopRResult CoreDivSearcher::TopR(std::uint32_t r, std::uint32_t k) {
+  TSD_CHECK(r >= 1);
+  TSD_CHECK(k >= 1);
+  // A k-core has at least k+1 vertices.
+  return DegreeBoundedTopR(
+      graph_, r, k + 1,
+      [k](EgoNetwork& ego, bool want_contexts) {
+        return ScoreKCores(ego, k, want_contexts);
+      });
+}
+
+std::vector<VertexId> RandomSelect(const Graph& graph, std::uint32_t r,
+                                   std::uint64_t seed) {
+  TSD_CHECK(r <= graph.num_vertices());
+  Rng rng(seed);
+  std::unordered_set<VertexId> chosen;
+  std::vector<VertexId> out;
+  out.reserve(r);
+  while (out.size() < r) {
+    const auto v = static_cast<VertexId>(rng.Uniform(graph.num_vertices()));
+    if (chosen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace tsd

@@ -1,0 +1,43 @@
+// Bound-pruned top-r search — Algorithm 4 of the paper ("bound").
+//
+// Two pruning techniques on top of the online search:
+//  1. Graph sparsification (Property 1): an edge can appear in a k-truss of
+//     some ego-network only if its *global* trussness is at least k+1, so
+//     all edges with τ_G(e) ≤ k are deleted up front, along with the
+//     vertices this isolates.
+//  2. Upper bound score̅(v) = min(⌊d(v)/k⌋, ⌊2·m_v/(k(k-1))⌋) (Lemma 2):
+//     candidates are visited in non-increasing bound order; once the answer
+//     set is full and the next bound is below the r-th best score, the
+//     search terminates early.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "graph/graph.h"
+#include "truss/ego_truss.h"
+
+namespace tsd {
+
+class BoundSearcher : public DiversitySearcher {
+ public:
+  explicit BoundSearcher(const Graph& graph,
+                         EgoTrussMethod method = EgoTrussMethod::kHash)
+      : graph_(graph), method_(method) {}
+
+  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  std::string name() const override { return "bound"; }
+
+  /// The Lemma 2 upper bounds for every vertex of `graph` (exposed for
+  /// tests and the ablation benchmarks). `ego_edge_counts` is m_v per
+  /// vertex, e.g. from TrianglesPerVertex.
+  static std::vector<std::uint32_t> UpperBounds(
+      const Graph& graph, const std::vector<std::uint32_t>& ego_edge_counts,
+      std::uint32_t k);
+
+ private:
+  const Graph& graph_;
+  EgoTrussMethod method_;
+};
+
+}  // namespace tsd

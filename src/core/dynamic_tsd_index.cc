@@ -1,0 +1,198 @@
+#include "core/dynamic_tsd_index.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/disjoint_set.h"
+#include "common/timer.h"
+#include "core/max_spanning_forest.h"
+#include "core/top_r_collector.h"
+
+namespace tsd {
+
+DynamicTsdIndex::DynamicTsdIndex(const Graph& initial, EgoTrussMethod method)
+    : graph_(initial), method_(method), forest_(initial.num_vertices()) {
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    RebuildVertex(v);
+  }
+  rebuild_count_ = 0;  // construction does not count as maintenance
+}
+
+void DynamicTsdIndex::ExtractEgo(VertexId center, EgoNetwork* out) const {
+  out->center = center;
+  const auto nbrs = graph_.neighbors(center);
+  out->members.assign(nbrs.begin(), nbrs.end());
+  out->edges.clear();
+  out->offsets.clear();
+  out->adj.clear();
+  out->adj_edge_ids.clear();
+  // Members are few; a per-call sorted lookup is fine for maintenance work.
+  for (std::uint32_t i = 0; i < out->members.size(); ++i) {
+    const VertexId u = out->members[i];
+    for (VertexId w : graph_.neighbors(u)) {
+      if (w <= u) continue;
+      const std::uint32_t j = out->ToLocal(w);
+      if (j != kInvalidVertex) out->edges.push_back(Edge{i, j});
+    }
+  }
+  std::sort(out->edges.begin(), out->edges.end());
+}
+
+void DynamicTsdIndex::RebuildVertex(VertexId v) {
+  ++rebuild_count_;
+  EgoNetwork ego;
+  ExtractEgo(v, &ego);
+  EgoTrussDecomposer decomposer(method_);
+  const std::vector<std::uint32_t> trussness = decomposer.Compute(ego);
+
+  auto& edges = forest_[v];
+  edges.clear();
+  DisjointSet dsu;
+  internal::MaximumSpanningForest(
+      ego, trussness, dsu, [&](VertexId gu, VertexId gv, std::uint32_t w) {
+        edges.push_back(ForestEdge{gu, gv, w});
+      });
+}
+
+bool DynamicTsdIndex::InsertEdge(VertexId u, VertexId v) {
+  if (!graph_.InsertEdge(u, v)) return false;
+  // Affected ego-networks: u, v, and every common neighbor (whose ego just
+  // gained the edge (u, v)). Common neighbors are unchanged by the insert
+  // itself, so computing them after the insert is equivalent.
+  for (VertexId w : graph_.CommonNeighbors(u, v)) RebuildVertex(w);
+  RebuildVertex(u);
+  RebuildVertex(v);
+  return true;
+}
+
+bool DynamicTsdIndex::RemoveEdge(VertexId u, VertexId v) {
+  if (u >= graph_.num_vertices() || v >= graph_.num_vertices() ||
+      !graph_.HasEdge(u, v)) {
+    return false;
+  }
+  const std::vector<VertexId> affected = graph_.CommonNeighbors(u, v);
+  graph_.RemoveEdge(u, v);
+  for (VertexId w : affected) RebuildVertex(w);
+  RebuildVertex(u);
+  RebuildVertex(v);
+  return true;
+}
+
+VertexId DynamicTsdIndex::AddVertex() {
+  const VertexId v = graph_.AddVertex();
+  forest_.emplace_back();
+  return v;
+}
+
+std::uint32_t DynamicTsdIndex::Score(VertexId v, std::uint32_t k) const {
+  TSD_CHECK(k >= 2);
+  TSD_CHECK(v < forest_.size());
+  std::unordered_map<VertexId, std::uint32_t> seen;
+  std::uint32_t edges = 0;
+  for (const ForestEdge& e : forest_[v]) {
+    if (e.weight < k) break;  // sorted descending
+    ++edges;
+    seen.emplace(e.u, 0);
+    seen.emplace(e.v, 0);
+  }
+  return static_cast<std::uint32_t>(seen.size()) - edges;
+}
+
+ScoreResult DynamicTsdIndex::ScoreWithContexts(VertexId v,
+                                               std::uint32_t k) const {
+  TSD_CHECK(k >= 2);
+  TSD_CHECK(v < forest_.size());
+  std::unordered_map<VertexId, std::uint32_t> local;
+  std::vector<VertexId> global;
+  std::size_t qualified = 0;
+  for (const ForestEdge& e : forest_[v]) {
+    if (e.weight < k) break;
+    ++qualified;
+    for (VertexId endpoint : {e.u, e.v}) {
+      if (local.emplace(endpoint, global.size()).second) {
+        global.push_back(endpoint);
+      }
+    }
+  }
+  DisjointSet dsu(global.size());
+  for (std::size_t i = 0; i < qualified; ++i) {
+    dsu.Union(local[forest_[v][i].u], local[forest_[v][i].v]);
+  }
+  std::unordered_map<std::uint32_t, SocialContext> by_root;
+  for (std::uint32_t i = 0; i < global.size(); ++i) {
+    by_root[dsu.Find(i)].push_back(global[i]);
+  }
+  ScoreResult result;
+  result.score = static_cast<std::uint32_t>(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    result.contexts.push_back(std::move(members));
+  }
+  std::sort(result.contexts.begin(), result.contexts.end(),
+            [](const SocialContext& a, const SocialContext& b) {
+              return a.front() < b.front();
+            });
+  return result;
+}
+
+std::uint32_t DynamicTsdIndex::ScoreUpperBound(VertexId v,
+                                               std::uint32_t k) const {
+  TSD_DCHECK(k >= 2);
+  const auto& edges = forest_[v];
+  const auto it = std::partition_point(
+      edges.begin(), edges.end(),
+      [k](const ForestEdge& e) { return e.weight >= k; });
+  return static_cast<std::uint32_t>(it - edges.begin()) / (k - 1);
+}
+
+TopRResult DynamicTsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
+  TSD_CHECK(r >= 1);
+  TSD_CHECK(k >= 2);
+  WallTimer total;
+  TopRResult result;
+  const VertexId n = graph_.num_vertices();
+
+  std::vector<std::uint32_t> bounds(n);
+  for (VertexId v = 0; v < n; ++v) bounds[v] = ScoreUpperBound(v, k);
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return bounds[a] > bounds[b];
+  });
+
+  TopRCollector collector(r);
+  for (VertexId v : order) {
+    if (collector.CanPrune(bounds[v], v)) break;
+    ++result.stats.vertices_scored;
+    collector.Offer(v, Score(v, k));
+  }
+  for (const auto& [vertex, score] : collector.Ranked()) {
+    TopREntry entry;
+    entry.vertex = vertex;
+    entry.score = score;
+    entry.contexts = ScoreWithContexts(vertex, k).contexts;
+    result.entries.push_back(std::move(entry));
+  }
+  result.stats.total_seconds = total.Seconds();
+  return result;
+}
+
+TsdIndex DynamicTsdIndex::Freeze() const {
+  TsdIndex index;
+  const VertexId n = graph_.num_vertices();
+  index.offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const ForestEdge& e : forest_[v]) {
+      index.edge_u_.push_back(e.u);
+      index.edge_v_.push_back(e.v);
+      index.weight_.push_back(e.weight);
+      index.max_weight_ = std::max(index.max_weight_, e.weight);
+    }
+    index.offsets_[v + 1] = index.edge_u_.size();
+  }
+  return index;
+}
+
+}  // namespace tsd

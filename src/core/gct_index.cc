@@ -1,0 +1,444 @@
+#include "core/gct_index.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/disjoint_set.h"
+#include "common/parallel.h"
+#include "common/serialize.h"
+#include "common/timer.h"
+#include "core/top_r_collector.h"
+
+namespace tsd {
+namespace {
+
+constexpr std::uint32_t kGctMagic = 0x58544347;  // "GCTX"
+constexpr std::uint32_t kGctVersion = 1;
+
+/// Scratch for one ego-network's Algorithm 8 run, reused across vertices.
+struct SupernodeBuilder {
+  DisjointSet merge;  // supernode membership over local vertices
+  DisjointSet conn;   // forest connectivity over local vertices
+  std::vector<std::uint32_t> vertex_tau;  // valid at merge roots
+  std::vector<std::uint32_t> sorted_edges;
+  std::vector<std::uint32_t> bucket;
+
+  struct RawSuperedge {
+    std::uint32_t u;  // local vertex
+    std::uint32_t w;  // local vertex
+    std::uint32_t weight;
+  };
+  std::vector<RawSuperedge> raw_superedges;
+};
+
+}  // namespace
+
+namespace {
+
+/// Per-chunk build output for the parallel GCT build; chunks cover
+/// contiguous ascending vertex ranges and concatenate in order.
+struct GctChunk {
+  std::vector<std::uint32_t> sn_tau;
+  std::vector<std::uint32_t> sn_member_count;  // parallel to sn_tau
+  std::vector<VertexId> members;
+  std::vector<std::uint32_t> se_a;
+  std::vector<std::uint32_t> se_b;
+  std::vector<std::uint32_t> se_w;
+  std::vector<std::uint32_t> per_vertex_sn_count;
+  std::vector<std::uint32_t> per_vertex_se_count;
+  std::uint32_t max_trussness = 0;
+  double extraction_seconds = 0;
+  double decomposition_seconds = 0;
+  double assembly_seconds = 0;
+};
+
+/// Algorithm 8 on one decomposed ego-network; appends the resulting
+/// supernodes/superedges to `chunk`.
+void AssembleSupernodes(const EgoNetwork& ego,
+                        const std::vector<std::uint32_t>& trussness,
+                        SupernodeBuilder& scratch, GctChunk& chunk) {
+  const std::uint32_t l = ego.num_members();
+  const std::uint32_t m = ego.num_edges();
+
+  scratch.merge.Reset(l);
+  scratch.conn.Reset(l);
+  scratch.vertex_tau.assign(l, 0);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto [a, b] = ego.edges[e];
+    scratch.vertex_tau[a] = std::max(scratch.vertex_tau[a], trussness[e]);
+    scratch.vertex_tau[b] = std::max(scratch.vertex_tau[b], trussness[e]);
+  }
+
+  // Edge ids in descending trussness order (counting sort).
+  std::uint32_t max_w = 0;
+  for (std::uint32_t w : trussness) max_w = std::max(max_w, w);
+  scratch.bucket.assign(max_w + 2, 0);
+  for (std::uint32_t w : trussness) ++scratch.bucket[w];
+  {
+    std::uint32_t cursor = 0;
+    for (std::uint32_t w = max_w + 1; w-- > 0;) {
+      const std::uint32_t count = scratch.bucket[w];
+      scratch.bucket[w] = cursor;
+      cursor += count;
+    }
+  }
+  scratch.sorted_edges.resize(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    scratch.sorted_edges[scratch.bucket[trussness[e]]++] = e;
+  }
+
+  // Process edges from the highest trussness down (Algorithm 8 lines 5-15).
+  scratch.raw_superedges.clear();
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const EdgeId e = scratch.sorted_edges[i];
+    const auto [u, w] = ego.edges[e];
+    const std::uint32_t t_e = trussness[e];
+    if (scratch.conn.Connected(u, w)) continue;
+    const std::uint32_t mu = scratch.merge.Find(u);
+    const std::uint32_t mw = scratch.merge.Find(w);
+    if (scratch.vertex_tau[mu] == t_e && scratch.vertex_tau[mw] == t_e) {
+      // Same trussness level on both sides: merge the supernodes.
+      scratch.merge.Union(mu, mw);
+      scratch.vertex_tau[scratch.merge.Find(mu)] = t_e;
+    } else {
+      scratch.raw_superedges.push_back({u, w, t_e});
+    }
+    scratch.conn.Union(u, w);
+  }
+
+  // Collect final supernodes: group non-isolated locals by merge root.
+  std::unordered_map<std::uint32_t, std::uint32_t> root_to_sn;
+  std::vector<std::uint32_t> sn_tau;
+  std::vector<std::vector<VertexId>> sn_members;
+  for (std::uint32_t u = 0; u < l; ++u) {
+    if (scratch.vertex_tau[u] < 2 &&
+        scratch.vertex_tau[scratch.merge.Find(u)] < 2) {
+      continue;  // isolated member: belongs to no social context
+    }
+    const std::uint32_t root = scratch.merge.Find(u);
+    auto [it, inserted] =
+        root_to_sn.emplace(root, static_cast<std::uint32_t>(sn_tau.size()));
+    if (inserted) {
+      sn_tau.push_back(scratch.vertex_tau[root]);
+      sn_members.emplace_back();
+    }
+    sn_members[it->second].push_back(ego.ToGlobal(u));
+  }
+
+  // Order supernodes by (trussness desc, smallest member asc).
+  const std::uint32_t num_sn = static_cast<std::uint32_t>(sn_tau.size());
+  std::vector<std::uint32_t> order(num_sn);
+  std::iota(order.begin(), order.end(), 0U);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (sn_tau[a] != sn_tau[b]) return sn_tau[a] > sn_tau[b];
+              return sn_members[a].front() < sn_members[b].front();
+            });
+  std::vector<std::uint32_t> position(num_sn);
+  for (std::uint32_t i = 0; i < num_sn; ++i) position[order[i]] = i;
+
+  for (std::uint32_t i = 0; i < num_sn; ++i) {
+    const std::uint32_t sn = order[i];
+    chunk.sn_tau.push_back(sn_tau[sn]);
+    chunk.max_trussness = std::max(chunk.max_trussness, sn_tau[sn]);
+    auto& members = sn_members[sn];
+    std::sort(members.begin(), members.end());
+    chunk.members.insert(chunk.members.end(), members.begin(), members.end());
+    chunk.sn_member_count.push_back(
+        static_cast<std::uint32_t>(members.size()));
+  }
+  chunk.per_vertex_sn_count.push_back(num_sn);
+
+  // Resolve superedges to final supernode slice positions and order them
+  // by weight descending (ties: by (a, b) for determinism).
+  struct FinalSuperedge {
+    std::uint32_t a, b, w;
+  };
+  std::vector<FinalSuperedge> finals;
+  finals.reserve(scratch.raw_superedges.size());
+  for (const auto& raw : scratch.raw_superedges) {
+    std::uint32_t a = position[root_to_sn.at(scratch.merge.Find(raw.u))];
+    std::uint32_t b = position[root_to_sn.at(scratch.merge.Find(raw.w))];
+    if (a > b) std::swap(a, b);
+    finals.push_back({a, b, raw.weight});
+  }
+  std::sort(finals.begin(), finals.end(),
+            [](const FinalSuperedge& x, const FinalSuperedge& y) {
+              if (x.w != y.w) return x.w > y.w;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  for (const auto& fe : finals) {
+    chunk.se_a.push_back(fe.a);
+    chunk.se_b.push_back(fe.b);
+    chunk.se_w.push_back(fe.w);
+  }
+  chunk.per_vertex_se_count.push_back(
+      static_cast<std::uint32_t>(finals.size()));
+}
+
+}  // namespace
+
+GctIndex GctIndex::Build(const Graph& graph, const Options& options) {
+  TSD_CHECK(options.num_threads >= 1);
+  WallTimer total;
+  GctIndex index;
+  const VertexId n = graph.num_vertices();
+  index.sn_offsets_.assign(n + 1, 0);
+  index.se_offsets_.assign(n + 1, 0);
+  index.member_offsets_.assign(1, 0);
+
+  // Ego-network source: one-shot global listing (Section 6.2) or the
+  // per-vertex extractor (ablation). The listing is shared read-only
+  // across workers.
+  std::unique_ptr<GlobalEgoNetworks> global;
+  if (options.use_global_listing) {
+    WallTimer listing;
+    global = std::make_unique<GlobalEgoNetworks>(graph);
+    index.build_stats_.extraction_seconds += listing.Seconds();
+  }
+
+  const std::uint32_t num_chunks =
+      options.num_threads == 1 ? 1 : options.num_threads * 8;
+  std::vector<GctChunk> chunks(num_chunks);
+
+  ParallelForChunks(
+      n, num_chunks, options.num_threads,
+      [&](std::uint32_t c, std::uint64_t begin, std::uint64_t end) {
+        GctChunk& chunk = chunks[c];
+        EgoNetworkExtractor extractor(graph);
+        EgoTrussDecomposer decomposer(options.method);
+        EgoNetwork ego;
+        SupernodeBuilder scratch;
+        for (std::uint64_t v = begin; v < end; ++v) {
+          {
+            ScopedTimer t(&chunk.extraction_seconds);
+            if (global != nullptr) {
+              global->MaterializeInto(static_cast<VertexId>(v), &ego);
+            } else {
+              extractor.ExtractInto(static_cast<VertexId>(v), &ego);
+            }
+          }
+          std::vector<std::uint32_t> trussness;
+          {
+            ScopedTimer t(&chunk.decomposition_seconds);
+            trussness = decomposer.Compute(ego);
+          }
+          ScopedTimer t(&chunk.assembly_seconds);
+          AssembleSupernodes(ego, trussness, scratch, chunk);
+        }
+      });
+
+  // Merge chunks in vertex order.
+  VertexId v = 0;
+  std::size_t sn_cursor = 0;
+  for (GctChunk& chunk : chunks) {
+    std::size_t local_sn = 0;
+    std::size_t local_se = 0;
+    for (std::size_t i = 0; i < chunk.per_vertex_sn_count.size(); ++i) {
+      local_sn += chunk.per_vertex_sn_count[i];
+      local_se += chunk.per_vertex_se_count[i];
+      index.sn_offsets_[v + 1] =
+          static_cast<std::uint32_t>(sn_cursor + local_sn);
+      index.se_offsets_[v + 1] = static_cast<std::uint32_t>(
+          index.se_w_.size() + local_se);
+      ++v;
+    }
+    sn_cursor += local_sn;
+    index.sn_tau_.insert(index.sn_tau_.end(), chunk.sn_tau.begin(),
+                         chunk.sn_tau.end());
+    for (std::uint32_t count : chunk.sn_member_count) {
+      TSD_CHECK_MSG(index.member_offsets_.back() + std::uint64_t{count} <
+                        UINT32_MAX,
+                    "GCT member array overflows 32-bit offsets");
+      index.member_offsets_.push_back(index.member_offsets_.back() + count);
+    }
+    index.members_.insert(index.members_.end(), chunk.members.begin(),
+                          chunk.members.end());
+    index.se_a_.insert(index.se_a_.end(), chunk.se_a.begin(),
+                       chunk.se_a.end());
+    index.se_b_.insert(index.se_b_.end(), chunk.se_b.begin(),
+                       chunk.se_b.end());
+    index.se_w_.insert(index.se_w_.end(), chunk.se_w.begin(),
+                       chunk.se_w.end());
+    index.max_trussness_ = std::max(index.max_trussness_, chunk.max_trussness);
+    index.build_stats_.extraction_seconds += chunk.extraction_seconds;
+    index.build_stats_.decomposition_seconds += chunk.decomposition_seconds;
+    index.build_stats_.assembly_seconds += chunk.assembly_seconds;
+  }
+  TSD_CHECK(v == n);
+  index.build_stats_.total_seconds = total.Seconds();
+  return index;
+}
+
+std::uint32_t GctIndex::Score(VertexId v, std::uint32_t k) const {
+  TSD_DCHECK(k >= 2);
+  TSD_DCHECK(v < num_vertices());
+  // N_k: supernodes with trussness >= k (slice sorted descending).
+  const auto sn_first = sn_tau_.begin() + sn_offsets_[v];
+  const auto sn_last = sn_tau_.begin() + sn_offsets_[v + 1];
+  const auto n_k = std::partition_point(
+      sn_first, sn_last, [k](std::uint32_t tau) { return tau >= k; });
+  // M_k: superedges with weight >= k.
+  const auto se_first = se_w_.begin() + se_offsets_[v];
+  const auto se_last = se_w_.begin() + se_offsets_[v + 1];
+  const auto m_k = std::partition_point(
+      se_first, se_last, [k](std::uint32_t w) { return w >= k; });
+  // Lemma 3.
+  return static_cast<std::uint32_t>((n_k - sn_first) - (m_k - se_first));
+}
+
+ScoreResult GctIndex::ScoreWithContexts(VertexId v, std::uint32_t k) const {
+  TSD_CHECK(k >= 2);
+  TSD_CHECK(v < num_vertices());
+  const auto sn_begin = sn_offsets_[v];
+  const auto sn_end = sn_offsets_[v + 1];
+  std::uint32_t n_k = 0;
+  while (sn_begin + n_k < sn_end && sn_tau_[sn_begin + n_k] >= k) ++n_k;
+
+  DisjointSet dsu(n_k);
+  const auto se_begin = se_offsets_[v];
+  const auto se_end = se_offsets_[v + 1];
+  for (auto i = se_begin; i < se_end && se_w_[i] >= k; ++i) {
+    TSD_DCHECK(se_a_[i] < n_k && se_b_[i] < n_k);
+    dsu.Union(se_a_[i], se_b_[i]);
+  }
+
+  std::unordered_map<std::uint32_t, SocialContext> by_root;
+  for (std::uint32_t i = 0; i < n_k; ++i) {
+    SocialContext& context = by_root[dsu.Find(i)];
+    const auto mem_begin = member_offsets_[sn_begin + i];
+    const auto mem_end = member_offsets_[sn_begin + i + 1];
+    context.insert(context.end(), members_.begin() + mem_begin,
+                   members_.begin() + mem_end);
+  }
+
+  ScoreResult result;
+  result.score = static_cast<std::uint32_t>(by_root.size());
+  result.contexts.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    result.contexts.push_back(std::move(members));
+  }
+  std::sort(result.contexts.begin(), result.contexts.end(),
+            [](const SocialContext& a, const SocialContext& b) {
+              return a.front() < b.front();
+            });
+  TSD_DCHECK(result.score == Score(v, k));
+  return result;
+}
+
+TopRResult GctIndex::TopR(std::uint32_t r, std::uint32_t k) {
+  TSD_CHECK(r >= 1);
+  TSD_CHECK(k >= 2);
+  WallTimer total;
+  TopRResult result;
+  const VertexId n = num_vertices();
+
+  TopRCollector collector(r);
+  {
+    ScopedTimer t(&result.stats.score_seconds);
+    for (VertexId v = 0; v < n; ++v) {
+      collector.Offer(v, Score(v, k));
+      ++result.stats.vertices_scored;
+    }
+  }
+  {
+    ScopedTimer t(&result.stats.context_seconds);
+    for (const auto& [vertex, score] : collector.Ranked()) {
+      TopREntry entry;
+      entry.vertex = vertex;
+      entry.score = score;
+      entry.contexts = ScoreWithContexts(vertex, k).contexts;
+      result.entries.push_back(std::move(entry));
+    }
+  }
+  result.stats.total_seconds = total.Seconds();
+  return result;
+}
+
+std::size_t GctIndex::SizeBytes() const {
+  return (sn_offsets_.size() + sn_tau_.size() + member_offsets_.size() +
+          se_offsets_.size() + se_a_.size() + se_b_.size() + se_w_.size()) *
+             sizeof(std::uint32_t) +
+         members_.size() * sizeof(VertexId);
+}
+
+void GctIndex::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  writer.WriteHeader(kGctMagic, kGctVersion);
+  writer.WriteVector(sn_offsets_);
+  writer.WriteVector(sn_tau_);
+  writer.WriteVector(member_offsets_);
+  writer.WriteVector(members_);
+  writer.WriteVector(se_offsets_);
+  writer.WriteVector(se_a_);
+  writer.WriteVector(se_b_);
+  writer.WriteVector(se_w_);
+  writer.WritePod(max_trussness_);
+  writer.Finish();
+}
+
+GctIndex GctIndex::Load(const std::string& path) {
+  BinaryReader reader(path);
+  reader.ExpectHeader(kGctMagic, kGctVersion);
+  GctIndex index;
+  index.sn_offsets_ = reader.ReadVector<std::uint32_t>();
+  index.sn_tau_ = reader.ReadVector<std::uint32_t>();
+  index.member_offsets_ = reader.ReadVector<std::uint32_t>();
+  index.members_ = reader.ReadVector<VertexId>();
+  index.se_offsets_ = reader.ReadVector<std::uint32_t>();
+  index.se_a_ = reader.ReadVector<std::uint32_t>();
+  index.se_b_ = reader.ReadVector<std::uint32_t>();
+  index.se_w_ = reader.ReadVector<std::uint32_t>();
+  index.max_trussness_ = reader.ReadPod<std::uint32_t>();
+  TSD_CHECK_MSG(!index.sn_offsets_.empty() && !index.se_offsets_.empty(),
+                "corrupt GCT index");
+  index.CheckInvariants();
+  return index;
+}
+
+void GctIndex::CheckInvariants() const {
+  const VertexId n = num_vertices();
+  TSD_CHECK(se_offsets_.size() == sn_offsets_.size());
+  TSD_CHECK(sn_offsets_.back() == sn_tau_.size());
+  TSD_CHECK(member_offsets_.size() == sn_tau_.size() + 1);
+  TSD_CHECK(member_offsets_.back() == members_.size());
+  TSD_CHECK(se_offsets_.back() == se_w_.size());
+  TSD_CHECK(se_a_.size() == se_w_.size() && se_b_.size() == se_w_.size());
+
+  for (VertexId v = 0; v < n; ++v) {
+    const auto sn_begin = sn_offsets_[v];
+    const auto sn_end = sn_offsets_[v + 1];
+    const std::uint32_t num_sn =
+        static_cast<std::uint32_t>(sn_end - sn_begin);
+    for (auto i = sn_begin; i + 1 < sn_end; ++i) {
+      TSD_CHECK_MSG(sn_tau_[i] >= sn_tau_[i + 1],
+                    "supernode trussness not descending at vertex " << v);
+    }
+    for (auto i = sn_begin; i < sn_end; ++i) {
+      TSD_CHECK_MSG(sn_tau_[i] >= 2, "supernode trussness below 2");
+      TSD_CHECK(member_offsets_[i + 1] > member_offsets_[i]);
+    }
+    DisjointSet forest(num_sn);
+    const auto se_begin = se_offsets_[v];
+    const auto se_end = se_offsets_[v + 1];
+    for (auto i = se_begin; i < se_end; ++i) {
+      TSD_CHECK(se_a_[i] < num_sn && se_b_[i] < num_sn);
+      if (i + 1 < se_end) TSD_CHECK(se_w_[i] >= se_w_[i + 1]);
+      const std::uint32_t tau_a = sn_tau_[sn_begin + se_a_[i]];
+      const std::uint32_t tau_b = sn_tau_[sn_begin + se_b_[i]];
+      TSD_CHECK_MSG(se_w_[i] <= tau_a && se_w_[i] <= tau_b,
+                    "superedge heavier than its endpoints");
+      TSD_CHECK_MSG(se_w_[i] < tau_a || se_w_[i] < tau_b,
+                    "superedge endpoints should have merged");
+      TSD_CHECK_MSG(forest.Union(se_a_[i], se_b_[i]),
+                    "superedge cycle at vertex " << v);
+    }
+  }
+}
+
+}  // namespace tsd

@@ -1,0 +1,82 @@
+#include "core/hybrid_search.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "core/online_search.h"
+#include "core/scoring.h"
+
+namespace tsd {
+
+HybridSearcher::HybridSearcher(const Graph& graph, const GctIndex& index)
+    : graph_(graph) {
+  const std::uint32_t max_k = std::max(2U, index.max_trussness());
+  rankings_.resize(max_k - 1);
+  for (std::uint32_t k = 2; k <= max_k; ++k) {
+    auto& ranking = rankings_[k - 2];
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const std::uint32_t score = index.Score(v, k);
+      if (score > 0) ranking.emplace_back(v, score);
+    }
+    std::sort(ranking.begin(), ranking.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+  }
+}
+
+TopRResult HybridSearcher::TopR(std::uint32_t r, std::uint32_t k) {
+  TSD_CHECK(r >= 1);
+  TSD_CHECK(k >= 2);
+  WallTimer total;
+  TopRResult result;
+
+  // Answer vertices are read straight from the precomputed ranking; if the
+  // positive-score ranking is shorter than r, pad with zero-score vertices
+  // in id order (matching the library-wide total order).
+  std::vector<std::pair<VertexId, std::uint32_t>> answers;
+  if (k - 2 < rankings_.size()) {
+    const auto& ranking = rankings_[k - 2];
+    for (std::uint32_t i = 0; i < ranking.size() && i < r; ++i) {
+      answers.push_back(ranking[i]);
+    }
+  }
+  if (answers.size() < r) {
+    // Zero-score fill: smallest ids not already present.
+    std::vector<char> present(graph_.num_vertices(), 0);
+    for (const auto& [v, s] : answers) present[v] = 1;
+    for (VertexId v = 0; v < graph_.num_vertices() && answers.size() < r;
+         ++v) {
+      if (!present[v]) answers.emplace_back(v, 0);
+    }
+  }
+
+  // The dominant cost: online social-context computation (Algorithm 2) for
+  // each answer vertex.
+  OnlineSearcher online(graph_);
+  {
+    ScopedTimer t(&result.stats.context_seconds);
+    for (const auto& [vertex, score] : answers) {
+      TopREntry entry;
+      entry.vertex = vertex;
+      entry.score = score;
+      entry.contexts =
+          online.ScoreVertex(vertex, k, /*want_contexts=*/true).contexts;
+      ++result.stats.vertices_scored;
+      result.entries.push_back(std::move(entry));
+    }
+  }
+  result.stats.total_seconds = total.Seconds();
+  return result;
+}
+
+std::size_t HybridSearcher::SizeBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& ranking : rankings_) {
+    bytes += ranking.size() * sizeof(ranking[0]);
+  }
+  return bytes;
+}
+
+}  // namespace tsd

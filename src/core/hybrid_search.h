@@ -1,0 +1,38 @@
+// Hybrid search — the Exp-4 competitor.
+//
+// Hybrid precomputes the complete structural-diversity ranking for every
+// possible k (so any top-r query can read its answer vertices directly) but
+// stores no ego-network structure: the winners' social contexts are
+// recomputed online with Algorithm 2. Competitive with GCT at r = 1; loses
+// for larger r because the per-winner online context computation dominates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gct_index.h"
+#include "core/types.h"
+#include "graph/graph.h"
+
+namespace tsd {
+
+class HybridSearcher : public DiversitySearcher {
+ public:
+  /// Precomputes rankings for all k in [2, max ego trussness]. The scores
+  /// are obtained from a (temporary or shared) GCT index.
+  HybridSearcher(const Graph& graph, const GctIndex& index);
+
+  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  std::string name() const override { return "Hybrid"; }
+
+  /// Bytes used by the precomputed rankings.
+  std::size_t SizeBytes() const;
+
+ private:
+  const Graph& graph_;
+  // rankings_[k - 2]: all vertices with positive score at threshold k,
+  // sorted by (score desc, id asc), with their scores.
+  std::vector<std::vector<std::pair<VertexId, std::uint32_t>>> rankings_;
+};
+
+}  // namespace tsd

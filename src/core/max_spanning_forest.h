@@ -1,0 +1,55 @@
+// Maximum-spanning-forest kernel shared by TsdIndex construction and the
+// dynamic TSD maintenance path.
+//
+// Kruskal over the trussness-weighted ego-network, with a counting sort on
+// the (small integer) weights, so one ego-network costs O(m_v + max_w).
+// Emits forest edges in non-increasing weight order with global endpoints.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/disjoint_set.h"
+#include "graph/ego_network.h"
+
+namespace tsd::internal {
+
+template <typename EmitFn>
+void MaximumSpanningForest(const EgoNetwork& ego,
+                           const std::vector<std::uint32_t>& trussness,
+                           DisjointSet& dsu, EmitFn&& emit) {
+  const std::uint32_t m = ego.num_edges();
+  dsu.Reset(ego.num_members());
+  if (m == 0) return;
+
+  std::uint32_t max_w = 0;
+  for (std::uint32_t w : trussness) max_w = std::max(max_w, w);
+
+  // Bucket edge ids by weight, descending.
+  std::vector<std::uint32_t> bucket_start(max_w + 2, 0);
+  for (std::uint32_t w : trussness) ++bucket_start[w];
+  std::vector<std::uint32_t> sorted(m);
+  {
+    std::uint32_t cursor = 0;
+    for (std::uint32_t w = max_w + 1; w-- > 0;) {
+      const std::uint32_t count = bucket_start[w];
+      bucket_start[w] = cursor;
+      cursor += count;
+    }
+    std::vector<std::uint32_t> fill(bucket_start);
+    for (EdgeId e = 0; e < m; ++e) {
+      sorted[fill[trussness[e]]++] = e;
+    }
+  }
+
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const EdgeId e = sorted[i];
+    const auto [u, v] = ego.edges[e];
+    if (dsu.Union(u, v)) {
+      emit(ego.ToGlobal(u), ego.ToGlobal(v), trussness[e]);
+    }
+  }
+}
+
+}  // namespace tsd::internal

@@ -1,0 +1,60 @@
+#include "core/online_search.h"
+
+#include "common/timer.h"
+#include "core/scoring.h"
+#include "core/top_r_collector.h"
+
+namespace tsd {
+
+ScoreResult OnlineSearcher::ScoreVertex(VertexId v, std::uint32_t k,
+                                        bool want_contexts) const {
+  EgoNetworkExtractor extractor(graph_);
+  EgoTrussDecomposer decomposer(method_);
+  EgoNetwork ego = extractor.Extract(v);
+  const std::vector<std::uint32_t> trussness = decomposer.Compute(ego);
+  return ScoreFromEgoTrussness(ego, trussness, k, want_contexts);
+}
+
+TopRResult OnlineSearcher::TopR(std::uint32_t r, std::uint32_t k) {
+  TSD_CHECK(r >= 1);
+  TSD_CHECK(k >= 2);
+  WallTimer total;
+  TopRResult result;
+
+  EgoNetworkExtractor extractor(graph_);
+  EgoTrussDecomposer decomposer(method_);
+  EgoNetwork ego;
+  TopRCollector collector(r);
+  {
+    ScopedTimer t(&result.stats.score_seconds);
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      extractor.ExtractInto(v, &ego);
+      const std::vector<std::uint32_t> trussness = decomposer.Compute(ego);
+      const ScoreResult score =
+          ScoreFromEgoTrussness(ego, trussness, k, /*want_contexts=*/false);
+      ++result.stats.vertices_scored;
+      collector.Offer(v, score.score);
+    }
+  }
+
+  // Materialize the winners' social contexts (line 8 of Algorithm 3).
+  {
+    ScopedTimer t(&result.stats.context_seconds);
+    for (const auto& [vertex, score] : collector.Ranked()) {
+      TopREntry entry;
+      entry.vertex = vertex;
+      entry.score = score;
+      extractor.ExtractInto(vertex, &ego);
+      const std::vector<std::uint32_t> trussness = decomposer.Compute(ego);
+      entry.contexts =
+          ScoreFromEgoTrussness(ego, trussness, k, /*want_contexts=*/true)
+              .contexts;
+      result.entries.push_back(std::move(entry));
+    }
+  }
+
+  result.stats.total_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace tsd

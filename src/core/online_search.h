@@ -1,0 +1,38 @@
+// The online (baseline) top-r search — Algorithm 3 of the paper.
+//
+// Computes score(v) for every vertex from scratch (ego-network extraction +
+// truss decomposition per vertex, Algorithm 2) and keeps the r best. No
+// pruning; this is the reference implementation every optimized method is
+// tested against, and the "baseline" row of Table 2.
+#pragma once
+
+#include <cstdint>
+
+#include "core/scoring.h"
+#include "core/types.h"
+#include "graph/graph.h"
+#include "truss/ego_truss.h"
+
+namespace tsd {
+
+class OnlineSearcher : public DiversitySearcher {
+ public:
+  /// `method` selects the ego truss decomposition kernel (the paper's
+  /// baseline uses the hash kernel).
+  explicit OnlineSearcher(const Graph& graph,
+                          EgoTrussMethod method = EgoTrussMethod::kHash)
+      : graph_(graph), method_(method) {}
+
+  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  std::string name() const override { return "baseline"; }
+
+  /// Computes score(v) and contexts for a single vertex (Algorithm 2).
+  ScoreResult ScoreVertex(VertexId v, std::uint32_t k,
+                          bool want_contexts) const;
+
+ private:
+  const Graph& graph_;
+  EgoTrussMethod method_;
+};
+
+}  // namespace tsd

@@ -1,0 +1,135 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/disjoint_set.h"
+#include "truss/core_decomposition.h"
+
+namespace tsd {
+namespace {
+
+/// Groups the local vertices with include[i] into components of `dsu` and
+/// converts to sorted global-id contexts.
+std::vector<SocialContext> MaterializeContexts(
+    const EgoNetwork& ego, DisjointSet& dsu,
+    const std::vector<char>& include) {
+  std::unordered_map<std::uint32_t, SocialContext> by_root;
+  for (std::uint32_t i = 0; i < ego.num_members(); ++i) {
+    if (include[i]) by_root[dsu.Find(i)].push_back(ego.ToGlobal(i));
+  }
+  std::vector<SocialContext> contexts;
+  contexts.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    contexts.push_back(std::move(members));
+  }
+  std::sort(contexts.begin(), contexts.end(),
+            [](const SocialContext& a, const SocialContext& b) {
+              return a.front() < b.front();
+            });
+  return contexts;
+}
+
+}  // namespace
+
+ScoreResult ScoreFromEgoTrussness(const EgoNetwork& ego,
+                                  const std::vector<std::uint32_t>& trussness,
+                                  std::uint32_t k, bool want_contexts) {
+  TSD_CHECK(k >= 2);
+  TSD_CHECK(trussness.size() == ego.edges.size());
+
+  const std::uint32_t l = ego.num_members();
+  DisjointSet dsu(l);
+  std::vector<char> touched(l, 0);
+  std::uint32_t touched_count = 0;
+  std::uint32_t union_count = 0;
+  for (EdgeId e = 0; e < ego.num_edges(); ++e) {
+    if (trussness[e] < k) continue;
+    const auto [u, v] = ego.edges[e];
+    if (dsu.Union(u, v)) ++union_count;
+    for (std::uint32_t endpoint : {u, v}) {
+      if (!touched[endpoint]) {
+        touched[endpoint] = 1;
+        ++touched_count;
+      }
+    }
+  }
+
+  ScoreResult result;
+  // Each component is a tree under the union count: #components =
+  // #touched vertices - #successful unions.
+  result.score = touched_count - union_count;
+  if (want_contexts && result.score > 0) {
+    result.contexts = MaterializeContexts(ego, dsu, touched);
+    TSD_DCHECK(result.contexts.size() == result.score);
+  }
+  return result;
+}
+
+ScoreResult ScoreComponents(const EgoNetwork& ego, std::uint32_t min_size,
+                            bool want_contexts) {
+  const std::uint32_t l = ego.num_members();
+  DisjointSet dsu(l);
+  for (const Edge& e : ego.edges) dsu.Union(e.u, e.v);
+
+  std::vector<char> include(l, 0);
+  std::uint32_t score = 0;
+  // Count each qualifying root once.
+  std::vector<char> root_counted(l, 0);
+  for (std::uint32_t i = 0; i < l; ++i) {
+    if (dsu.SetSize(i) >= min_size) {
+      include[i] = 1;
+      const std::uint32_t root = dsu.Find(i);
+      if (!root_counted[root]) {
+        root_counted[root] = 1;
+        ++score;
+      }
+    }
+  }
+
+  ScoreResult result;
+  result.score = score;
+  if (want_contexts && score > 0) {
+    result.contexts = MaterializeContexts(ego, dsu, include);
+    TSD_DCHECK(result.contexts.size() == score);
+  }
+  return result;
+}
+
+ScoreResult ScoreKCores(EgoNetwork& ego, std::uint32_t k,
+                        bool want_contexts) {
+  if (ego.offsets.empty()) ego.BuildCsr();
+  const std::uint32_t l = ego.num_members();
+  const std::vector<std::uint32_t> core =
+      CoreNumbersCsr(l, ego.offsets, ego.adj);
+
+  DisjointSet dsu(l);
+  std::vector<char> include(l, 0);
+  for (std::uint32_t i = 0; i < l; ++i) include[i] = core[i] >= k ? 1 : 0;
+  for (const Edge& e : ego.edges) {
+    if (include[e.u] && include[e.v]) dsu.Union(e.u, e.v);
+  }
+
+  std::vector<char> root_counted(l, 0);
+  std::uint32_t score = 0;
+  for (std::uint32_t i = 0; i < l; ++i) {
+    if (!include[i]) continue;
+    const std::uint32_t root = dsu.Find(i);
+    if (!root_counted[root]) {
+      root_counted[root] = 1;
+      ++score;
+    }
+  }
+
+  ScoreResult result;
+  result.score = score;
+  if (want_contexts && score > 0) {
+    result.contexts = MaterializeContexts(ego, dsu, include);
+    TSD_DCHECK(result.contexts.size() == score);
+  }
+  return result;
+}
+
+}  // namespace tsd

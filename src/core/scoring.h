@@ -1,0 +1,37 @@
+// score(v) computation (Algorithm 2): the number of maximal connected
+// k-trusses in the ego-network G_N(v), with optional materialization of the
+// social contexts themselves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/ego_network.h"
+
+namespace tsd {
+
+/// Result of scoring one ego-network.
+struct ScoreResult {
+  std::uint32_t score = 0;
+  /// Filled only when requested; contexts hold global vertex ids, each
+  /// sorted, list sorted by smallest member.
+  std::vector<SocialContext> contexts;
+};
+
+/// Counts (and optionally materializes) the connected components of the
+/// k-truss of `ego`, given the per-edge trussness of the ego-network
+/// (parallel to ego.edges). Lines 3–5 of Algorithm 2.
+ScoreResult ScoreFromEgoTrussness(const EgoNetwork& ego,
+                                  const std::vector<std::uint32_t>& trussness,
+                                  std::uint32_t k, bool want_contexts);
+
+/// Counts components with >= min_size vertices in `ego` (Comp-Div model).
+ScoreResult ScoreComponents(const EgoNetwork& ego, std::uint32_t min_size,
+                            bool want_contexts);
+
+/// Counts maximal connected k-cores in `ego` (Core-Div model). Requires the
+/// ego CSR (BuildCsr).
+ScoreResult ScoreKCores(EgoNetwork& ego, std::uint32_t k, bool want_contexts);
+
+}  // namespace tsd

@@ -1,0 +1,259 @@
+#include "core/tsd_index.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/disjoint_set.h"
+#include "common/parallel.h"
+#include "common/serialize.h"
+#include "common/timer.h"
+#include "core/max_spanning_forest.h"
+#include "core/top_r_collector.h"
+
+namespace tsd {
+namespace {
+
+constexpr std::uint32_t kTsdMagic = 0x58445354;  // "TSDX"
+constexpr std::uint32_t kTsdVersion = 1;
+
+/// Per-chunk build output: forest edge arrays plus per-vertex counts, so
+/// chunks concatenate in order into the final flat index.
+struct TsdChunk {
+  std::vector<VertexId> edge_u;
+  std::vector<VertexId> edge_v;
+  std::vector<std::uint32_t> weight;
+  std::vector<std::uint32_t> per_vertex_count;
+  std::uint32_t max_weight = 0;
+  double extraction_seconds = 0;
+  double decomposition_seconds = 0;
+  double assembly_seconds = 0;
+};
+
+}  // namespace
+
+TsdIndex TsdIndex::Build(const Graph& graph, const Options& options) {
+  TSD_CHECK(options.num_threads >= 1);
+  WallTimer total;
+  TsdIndex index;
+  const VertexId n = graph.num_vertices();
+  index.offsets_.assign(n + 1, 0);
+
+  const std::uint32_t num_chunks =
+      options.num_threads == 1 ? 1 : options.num_threads * 8;
+  std::vector<TsdChunk> chunks(num_chunks);
+
+  ParallelForChunks(
+      n, num_chunks, options.num_threads,
+      [&](std::uint32_t c, std::uint64_t begin, std::uint64_t end) {
+        TsdChunk& chunk = chunks[c];
+        chunk.per_vertex_count.reserve(end - begin);
+        EgoNetworkExtractor extractor(graph);
+        EgoTrussDecomposer decomposer(options.method);
+        EgoNetwork ego;
+        DisjointSet dsu;
+        for (std::uint64_t v = begin; v < end; ++v) {
+          {
+            ScopedTimer t(&chunk.extraction_seconds);
+            extractor.ExtractInto(static_cast<VertexId>(v), &ego);
+          }
+          std::vector<std::uint32_t> trussness;
+          {
+            ScopedTimer t(&chunk.decomposition_seconds);
+            trussness = decomposer.Compute(ego);
+          }
+          ScopedTimer t(&chunk.assembly_seconds);
+          const std::size_t before = chunk.edge_u.size();
+          internal::MaximumSpanningForest(
+              ego, trussness, dsu,
+              [&](VertexId gu, VertexId gv, std::uint32_t w) {
+                chunk.edge_u.push_back(gu);
+                chunk.edge_v.push_back(gv);
+                chunk.weight.push_back(w);
+                chunk.max_weight = std::max(chunk.max_weight, w);
+              });
+          chunk.per_vertex_count.push_back(
+              static_cast<std::uint32_t>(chunk.edge_u.size() - before));
+        }
+      });
+
+  // Merge chunks in order (chunk c covers a contiguous ascending vertex
+  // range, so concatenation preserves the per-vertex layout).
+  VertexId v = 0;
+  for (TsdChunk& chunk : chunks) {
+    for (std::uint32_t count : chunk.per_vertex_count) {
+      index.offsets_[v + 1] = index.offsets_[v] + count;
+      ++v;
+    }
+    index.edge_u_.insert(index.edge_u_.end(), chunk.edge_u.begin(),
+                         chunk.edge_u.end());
+    index.edge_v_.insert(index.edge_v_.end(), chunk.edge_v.begin(),
+                         chunk.edge_v.end());
+    index.weight_.insert(index.weight_.end(), chunk.weight.begin(),
+                         chunk.weight.end());
+    index.max_weight_ = std::max(index.max_weight_, chunk.max_weight);
+    index.build_stats_.extraction_seconds += chunk.extraction_seconds;
+    index.build_stats_.decomposition_seconds += chunk.decomposition_seconds;
+    index.build_stats_.assembly_seconds += chunk.assembly_seconds;
+  }
+  TSD_CHECK(v == n);
+  index.build_stats_.total_seconds = total.Seconds();
+  return index;
+}
+
+std::uint32_t TsdIndex::Score(VertexId v, std::uint32_t k) const {
+  TSD_CHECK(k >= 2);
+  TSD_CHECK(v < num_vertices());
+  const std::uint64_t begin = offsets_[v];
+  const std::uint64_t end = offsets_[v + 1];
+
+  // Count qualified edges and distinct endpoints; the forest property gives
+  // score = |endpoints| - |edges|.
+  std::unordered_map<VertexId, std::uint32_t> seen;
+  std::uint32_t edges = 0;
+  for (std::uint64_t i = begin; i < end && weight_[i] >= k; ++i) {
+    ++edges;
+    seen.emplace(edge_u_[i], 0);
+    seen.emplace(edge_v_[i], 0);
+  }
+  return static_cast<std::uint32_t>(seen.size()) - edges;
+}
+
+ScoreResult TsdIndex::ScoreWithContexts(VertexId v, std::uint32_t k) const {
+  TSD_CHECK(k >= 2);
+  TSD_CHECK(v < num_vertices());
+  const std::uint64_t begin = offsets_[v];
+  const std::uint64_t end = offsets_[v + 1];
+
+  // Map touched global endpoints to dense local ids.
+  std::unordered_map<VertexId, std::uint32_t> local;
+  std::vector<VertexId> global;
+  std::uint64_t qualified_end = begin;
+  for (std::uint64_t i = begin; i < end && weight_[i] >= k; ++i) {
+    for (VertexId endpoint : {edge_u_[i], edge_v_[i]}) {
+      if (local.emplace(endpoint, global.size()).second) {
+        global.push_back(endpoint);
+      }
+    }
+    qualified_end = i + 1;
+  }
+
+  DisjointSet dsu(global.size());
+  for (std::uint64_t i = begin; i < qualified_end; ++i) {
+    dsu.Union(local[edge_u_[i]], local[edge_v_[i]]);
+  }
+
+  std::unordered_map<std::uint32_t, SocialContext> by_root;
+  for (std::uint32_t i = 0; i < global.size(); ++i) {
+    by_root[dsu.Find(i)].push_back(global[i]);
+  }
+  ScoreResult result;
+  result.score = static_cast<std::uint32_t>(by_root.size());
+  result.contexts.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    result.contexts.push_back(std::move(members));
+  }
+  std::sort(result.contexts.begin(), result.contexts.end(),
+            [](const SocialContext& a, const SocialContext& b) {
+              return a.front() < b.front();
+            });
+  return result;
+}
+
+std::uint32_t TsdIndex::ScoreUpperBound(VertexId v, std::uint32_t k) const {
+  TSD_DCHECK(k >= 2);
+  TSD_DCHECK(v < num_vertices());
+  const std::uint64_t begin = offsets_[v];
+  const std::uint64_t end = offsets_[v + 1];
+  // Weights are sorted descending: binary search the first weight < k.
+  // std::lower_bound with greater-equal predicate over the reversed notion:
+  auto first = weight_.begin() + begin;
+  auto last = weight_.begin() + end;
+  const auto it = std::partition_point(
+      first, last, [k](std::uint32_t w) { return w >= k; });
+  const auto qualified = static_cast<std::uint32_t>(it - first);
+  // A maximal connected k-truss contributes at least k-1 forest edges.
+  return qualified / (k - 1);
+}
+
+TopRResult TsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
+  TSD_CHECK(r >= 1);
+  TSD_CHECK(k >= 2);
+  WallTimer total;
+  TopRResult result;
+  const VertexId n = num_vertices();
+
+  std::vector<std::uint32_t> bounds(n);
+  {
+    ScopedTimer t(&result.stats.preprocess_seconds);
+    for (VertexId v = 0; v < n; ++v) bounds[v] = ScoreUpperBound(v, k);
+  }
+
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return bounds[a] > bounds[b];
+  });
+
+  TopRCollector collector(r);
+  {
+    ScopedTimer t(&result.stats.score_seconds);
+    for (VertexId v : order) {
+      if (collector.CanPrune(bounds[v], v)) break;
+      ++result.stats.vertices_scored;
+      collector.Offer(v, Score(v, k));
+    }
+  }
+
+  {
+    ScopedTimer t(&result.stats.context_seconds);
+    for (const auto& [vertex, score] : collector.Ranked()) {
+      TopREntry entry;
+      entry.vertex = vertex;
+      entry.score = score;
+      entry.contexts = ScoreWithContexts(vertex, k).contexts;
+      result.entries.push_back(std::move(entry));
+    }
+  }
+  result.stats.total_seconds = total.Seconds();
+  return result;
+}
+
+std::size_t TsdIndex::SizeBytes() const {
+  return offsets_.size() * sizeof(std::uint64_t) +
+         edge_u_.size() * sizeof(VertexId) +
+         edge_v_.size() * sizeof(VertexId) +
+         weight_.size() * sizeof(std::uint32_t);
+}
+
+void TsdIndex::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  writer.WriteHeader(kTsdMagic, kTsdVersion);
+  writer.WriteVector(offsets_);
+  writer.WriteVector(edge_u_);
+  writer.WriteVector(edge_v_);
+  writer.WriteVector(weight_);
+  writer.WritePod(max_weight_);
+  writer.Finish();
+}
+
+TsdIndex TsdIndex::Load(const std::string& path) {
+  BinaryReader reader(path);
+  reader.ExpectHeader(kTsdMagic, kTsdVersion);
+  TsdIndex index;
+  index.offsets_ = reader.ReadVector<std::uint64_t>();
+  index.edge_u_ = reader.ReadVector<VertexId>();
+  index.edge_v_ = reader.ReadVector<VertexId>();
+  index.weight_ = reader.ReadVector<std::uint32_t>();
+  index.max_weight_ = reader.ReadPod<std::uint32_t>();
+  TSD_CHECK_MSG(!index.offsets_.empty(), "corrupt TSD index");
+  TSD_CHECK_MSG(index.edge_u_.size() == index.edge_v_.size() &&
+                    index.edge_u_.size() == index.weight_.size() &&
+                    index.offsets_.back() == index.edge_u_.size(),
+                "corrupt TSD index: inconsistent arrays");
+  return index;
+}
+
+}  // namespace tsd

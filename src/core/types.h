@@ -1,0 +1,70 @@
+// Shared result types for all structural diversity searchers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tsd {
+
+/// A social context: the sorted vertex set of one maximal connected k-truss
+/// (or k-core / component, for the baseline models) in an ego-network.
+using SocialContext = std::vector<VertexId>;
+
+/// One ranked answer of a top-r search.
+struct TopREntry {
+  VertexId vertex = kInvalidVertex;
+  std::uint32_t score = 0;
+  /// Social contexts SC(vertex), sorted by smallest member.
+  std::vector<SocialContext> contexts;
+};
+
+/// Instrumentation reported by every searcher; feeds Tables 2–4 and Fig. 9.
+struct SearchStats {
+  /// Number of vertices whose exact structural diversity was computed
+  /// (the paper's "search space").
+  std::uint64_t vertices_scored = 0;
+  /// End-to-end query wall time in seconds.
+  double total_seconds = 0;
+  /// Time spent in preprocessing (sparsification / bound computation).
+  double preprocess_seconds = 0;
+  /// Time spent computing exact scores.
+  double score_seconds = 0;
+  /// Time spent materializing the winners' social contexts.
+  double context_seconds = 0;
+};
+
+/// Result of a top-r structural diversity search: entries sorted by
+/// (score descending, vertex id ascending) — the library-wide total order
+/// that makes every search method return bit-identical rankings.
+struct TopRResult {
+  std::vector<TopREntry> entries;
+  SearchStats stats;
+};
+
+/// Abstract interface implemented by every search method
+/// (online / bound / TSD / GCT / Hybrid and the Comp-/Core-Div baselines).
+class DiversitySearcher {
+ public:
+  virtual ~DiversitySearcher() = default;
+
+  /// Finds the r vertices with the highest structural diversity at
+  /// trussness threshold k (k ≥ 2) and returns them with their social
+  /// contexts. Deterministic: ties broken by ascending vertex id.
+  virtual TopRResult TopR(std::uint32_t r, std::uint32_t k) = 0;
+
+  /// Method name for logs and benchmark tables.
+  virtual std::string name() const = 0;
+};
+
+/// Comparator for the library-wide ranking order: true if (score_a, a)
+/// ranks strictly better than (score_b, b).
+inline bool RanksBefore(std::uint32_t score_a, VertexId a,
+                        std::uint32_t score_b, VertexId b) {
+  if (score_a != score_b) return score_a > score_b;
+  return a < b;
+}
+
+}  // namespace tsd

@@ -1,0 +1,76 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tsd {
+
+DynamicGraph::DynamicGraph(const Graph& graph)
+    : adjacency_(graph.num_vertices()), num_edges_(graph.num_edges()) {
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    adjacency_[v].assign(graph.neighbors(v).begin(),
+                         graph.neighbors(v).end());
+  }
+}
+
+bool DynamicGraph::HasEdge(VertexId u, VertexId v) const {
+  TSD_DCHECK(u < num_vertices() && v < num_vertices());
+  if (u == v) return false;
+  // Search the smaller adjacency.
+  const auto& list = adjacency_[degree(u) <= degree(v) ? u : v];
+  const VertexId target = degree(u) <= degree(v) ? v : u;
+  return std::binary_search(list.begin(), list.end(), target);
+}
+
+bool DynamicGraph::InsertEdge(VertexId u, VertexId v) {
+  TSD_CHECK(u < num_vertices() && v < num_vertices());
+  if (u == v || HasEdge(u, v)) return false;
+  auto& lu = adjacency_[u];
+  lu.insert(std::lower_bound(lu.begin(), lu.end(), v), v);
+  auto& lv = adjacency_[v];
+  lv.insert(std::lower_bound(lv.begin(), lv.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::RemoveEdge(VertexId u, VertexId v) {
+  TSD_CHECK(u < num_vertices() && v < num_vertices());
+  if (u == v || !HasEdge(u, v)) return false;
+  auto& lu = adjacency_[u];
+  lu.erase(std::lower_bound(lu.begin(), lu.end(), v));
+  auto& lv = adjacency_[v];
+  lv.erase(std::lower_bound(lv.begin(), lv.end(), u));
+  --num_edges_;
+  return true;
+}
+
+VertexId DynamicGraph::AddVertex() {
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+std::vector<VertexId> DynamicGraph::CommonNeighbors(VertexId u,
+                                                    VertexId v) const {
+  TSD_DCHECK(u < num_vertices() && v < num_vertices());
+  std::vector<VertexId> common;
+  const auto& lu = adjacency_[u];
+  const auto& lv = adjacency_[v];
+  std::set_intersection(lu.begin(), lu.end(), lv.begin(), lv.end(),
+                        std::back_inserter(common));
+  return common;
+}
+
+Graph DynamicGraph::ToGraph() const {
+  GraphBuilder builder;
+  builder.EnsureVertices(num_vertices());
+  builder.ReserveEdges(num_edges_);
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (VertexId u : adjacency_[v]) {
+      if (u > v) builder.AddEdge(v, u);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace tsd

@@ -1,0 +1,61 @@
+// Mutable undirected simple graph with sorted-vector adjacency.
+//
+// Substrate for the dynamic TSD-index maintenance (the extension the
+// paper's Section 5.3 remarks sketch): supports edge insertion/deletion in
+// O(d) and conversion to/from the immutable CSR Graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tsd {
+
+class DynamicGraph {
+ public:
+  /// Empty graph with n isolated vertices.
+  explicit DynamicGraph(VertexId n) : adjacency_(n) {}
+
+  /// Mutable copy of an immutable graph.
+  explicit DynamicGraph(const Graph& graph);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(adjacency_.size());
+  }
+  std::uint64_t num_edges() const { return num_edges_; }
+
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(adjacency_[v].size());
+  }
+
+  /// Neighbors of v, sorted ascending.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Inserts {u, v}; returns false if it already existed (or u == v).
+  bool InsertEdge(VertexId u, VertexId v);
+
+  /// Removes {u, v}; returns false if absent.
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  /// Appends a new isolated vertex and returns its id.
+  VertexId AddVertex();
+
+  /// Common neighbors of u and v (sorted): the vertices whose ego-networks
+  /// contain the edge {u, v}.
+  std::vector<VertexId> CommonNeighbors(VertexId u, VertexId v) const;
+
+  /// Snapshot as an immutable CSR graph.
+  Graph ToGraph() const;
+
+ private:
+  std::vector<std::vector<VertexId>> adjacency_;  // sorted
+  std::uint64_t num_edges_ = 0;
+};
+
+}  // namespace tsd

@@ -1,0 +1,79 @@
+#include "graph/edge_list_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/serialize.h"
+
+namespace tsd {
+namespace {
+
+constexpr std::uint32_t kGraphMagic = 0x47445354;  // "TSDG"
+constexpr std::uint32_t kGraphVersion = 1;
+
+}  // namespace
+
+Graph LoadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  TSD_CHECK_MSG(in.good(), "cannot open edge list: " << path);
+
+  GraphBuilder builder;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Skip comments and blank lines.
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#' ||
+        line[first] == '%') {
+      continue;
+    }
+    const char* p = line.c_str() + first;
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(p, &end, 10);
+    TSD_CHECK_MSG(end != p, "parse error at " << path << ":" << line_number);
+    p = end;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    TSD_CHECK_MSG(end != p, "parse error at " << path << ":" << line_number);
+    TSD_CHECK_MSG(u < kInvalidVertex && v < kInvalidVertex,
+                  "vertex id overflow at " << path << ":" << line_number);
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.Build();
+}
+
+void SaveEdgeListText(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  TSD_CHECK_MSG(out.good(), "cannot open file for writing: " << path);
+  out << "# Undirected graph: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() << " edges\n";
+  for (const Edge& e : graph.edges()) {
+    out << e.u << '\t' << e.v << '\n';
+  }
+  out.flush();
+  TSD_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+void SaveGraphBinary(const Graph& graph, const std::string& path) {
+  BinaryWriter writer(path);
+  writer.WriteHeader(kGraphMagic, kGraphVersion);
+  writer.WritePod<std::uint64_t>(graph.num_vertices());
+  std::vector<Edge> edges = graph.edges();
+  writer.WriteVector(edges);
+  writer.Finish();
+}
+
+Graph LoadGraphBinary(const std::string& path) {
+  BinaryReader reader(path);
+  reader.ExpectHeader(kGraphMagic, kGraphVersion);
+  const auto n = reader.ReadPod<std::uint64_t>();
+  TSD_CHECK_MSG(n <= kInvalidVertex, "corrupt graph file: vertex count");
+  const auto edges = reader.ReadVector<Edge>();
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(edges.size());
+  for (const Edge& e : edges) pairs.emplace_back(e.u, e.v);
+  return Graph::FromEdges(std::move(pairs), static_cast<VertexId>(n));
+}
+
+}  // namespace tsd

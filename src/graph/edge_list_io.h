@@ -1,0 +1,27 @@
+// Edge-list file formats.
+//
+// Text format is SNAP-compatible: one "u v" pair per line, '#' comment lines
+// ignored, arbitrary whitespace. Binary format is a fast little-endian dump
+// for large graphs (magic "TSDG").
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace tsd {
+
+/// Loads a SNAP-style text edge list. Throws CheckError on parse errors or
+/// unreadable files. Vertex ids must be non-negative integers; they are used
+/// verbatim, so sparse id spaces produce isolated vertices.
+Graph LoadEdgeListText(const std::string& path);
+
+/// Writes "u v" lines with a comment header.
+void SaveEdgeListText(const Graph& graph, const std::string& path);
+
+/// Binary dump of the edge list (much faster than text for multi-million
+/// edge graphs).
+void SaveGraphBinary(const Graph& graph, const std::string& path);
+Graph LoadGraphBinary(const std::string& path);
+
+}  // namespace tsd

@@ -1,0 +1,183 @@
+#include "graph/ego_network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "truss/triangle.h"
+
+namespace tsd {
+
+std::uint32_t EgoNetwork::ToLocal(VertexId global) const {
+  const auto it = std::lower_bound(members.begin(), members.end(), global);
+  if (it == members.end() || *it != global) return kInvalidVertex;
+  return static_cast<std::uint32_t>(it - members.begin());
+}
+
+void EgoNetwork::BuildCsr() {
+  const std::uint32_t n = num_members();
+  const std::uint32_t m = num_edges();
+  offsets.assign(n + 1, 0);
+  for (const Edge& e : edges) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::uint32_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  adj.resize(2ULL * m);
+  adj_edge_ids.resize(2ULL * m);
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto [u, v] = edges[e];
+    adj[cursor[u]] = v;
+    adj_edge_ids[cursor[u]++] = e;
+    adj[cursor[v]] = u;
+    adj_edge_ids[cursor[v]++] = e;
+  }
+  // Edges are sorted by (u, v) with u < v, so adjacency lists come out
+  // sorted for the same reason as in GraphBuilder::Build.
+}
+
+EgoNetworkExtractor::EgoNetworkExtractor(const Graph& graph)
+    : graph_(graph), local_id_(graph.num_vertices(), 0) {}
+
+EgoNetwork EgoNetworkExtractor::Extract(VertexId v) {
+  EgoNetwork out;
+  ExtractInto(v, &out);
+  return out;
+}
+
+void EgoNetworkExtractor::ExtractInto(VertexId v, EgoNetwork* out) {
+  TSD_DCHECK(v < graph_.num_vertices());
+  out->center = v;
+  out->members.assign(graph_.neighbors(v).begin(), graph_.neighbors(v).end());
+  out->edges.clear();
+  out->offsets.clear();
+  out->adj.clear();
+  out->adj_edge_ids.clear();
+
+  // Mark members with local id + 1 (0 = not a member).
+  for (std::uint32_t i = 0; i < out->members.size(); ++i) {
+    local_id_[out->members[i]] = i + 1;
+  }
+  // For each member u, scan u's adjacency for fellow members w > u; the
+  // (u, w) pairs are exactly the ego edges (triangles through v).
+  for (std::uint32_t i = 0; i < out->members.size(); ++i) {
+    const VertexId u = out->members[i];
+    for (VertexId w : graph_.neighbors(u)) {
+      if (w <= u) continue;
+      const std::uint32_t local_w = local_id_[w];
+      if (local_w != 0) {
+        out->edges.push_back(Edge{i, local_w - 1});
+      }
+    }
+  }
+  // Members are scanned in ascending global order and neighbors are sorted,
+  // so edges come out sorted by (local u, local v) already.
+  for (VertexId member : out->members) local_id_[member] = 0;
+}
+
+GlobalEgoNetworks::GlobalEgoNetworks(const Graph& graph) : graph_(graph) {
+  WallTimer timer;
+  const VertexId n = graph.num_vertices();
+
+  // One forward-adjacency structure drives both the counting pass and the
+  // fill pass (building it dominates small-graph listing cost).
+  const internal::ForwardAdjacency fwd(graph);
+  auto for_each_triangle = [&](auto&& fn) {
+    for (VertexId u = 0; u < n; ++u) {
+      const auto begin_u = fwd.offsets[u];
+      const auto end_u = fwd.offsets[u + 1];
+      for (auto i = begin_u; i < end_u; ++i) {
+        const VertexId v = fwd.neighbors[i];
+        auto pu = i + 1;
+        auto pv = fwd.offsets[v];
+        const auto end_v = fwd.offsets[v + 1];
+        while (pu < end_u && pv < end_v) {
+          const std::uint32_t ru = fwd.neighbor_ranks[pu];
+          const std::uint32_t rv = fwd.neighbor_ranks[pv];
+          if (ru < rv) {
+            ++pu;
+          } else if (ru > rv) {
+            ++pv;
+          } else {
+            fn(u, v, fwd.neighbors[pu]);
+            ++pu;
+            ++pv;
+          }
+        }
+      }
+    }
+  };
+
+  // Pass 1: count ego edges per center (= triangles per vertex).
+  std::vector<std::uint32_t> counts(n, 0);
+  for_each_triangle([&](VertexId u, VertexId v, VertexId w) {
+    ++counts[u];
+    ++counts[v];
+    ++counts[w];
+  });
+  offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + counts[v];
+
+  // Pass 2: distribute each triangle to its three ego-networks.
+  ego_edges_.resize(offsets_[n]);
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for_each_triangle([&](VertexId u, VertexId v, VertexId w) {
+    ego_edges_[cursor[w]++] = Edge{std::min(u, v), std::max(u, v)};
+    ego_edges_[cursor[v]++] = Edge{std::min(u, w), std::max(u, w)};
+    ego_edges_[cursor[u]++] = Edge{std::min(v, w), std::max(v, w)};
+  });
+  listing_seconds_ = timer.Seconds();
+}
+
+EgoNetwork GlobalEgoNetworks::Materialize(VertexId v) const {
+  EgoNetwork out;
+  MaterializeInto(v, &out);
+  return out;
+}
+
+void GlobalEgoNetworks::MaterializeInto(VertexId v, EgoNetwork* out) const {
+  TSD_DCHECK(v < graph_.num_vertices());
+  out->center = v;
+  out->members.assign(graph_.neighbors(v).begin(),
+                      graph_.neighbors(v).end());
+  out->offsets.clear();
+  out->adj.clear();
+  out->adj_edge_ids.clear();
+
+  // Global-to-local translation via a thread-local mark array (zeroed
+  // between calls), instead of per-endpoint binary search — materialization
+  // is on the index-construction hot path.
+  static thread_local std::vector<std::uint32_t> local_plus_one;
+  if (local_plus_one.size() < graph_.num_vertices()) {
+    local_plus_one.assign(graph_.num_vertices(), 0);
+  }
+  for (std::uint32_t i = 0; i < out->members.size(); ++i) {
+    local_plus_one[out->members[i]] = i + 1;
+  }
+
+  // Translate, pack each edge into one 64-bit key, sort numerically
+  // (equivalent to lexicographic (u, v) order), unpack.
+  const auto global_edges = EgoEdges(v);
+  static thread_local std::vector<std::uint64_t> keys;
+  keys.clear();
+  keys.reserve(global_edges.size());
+  for (const Edge& e : global_edges) {
+    const std::uint32_t lu = local_plus_one[e.u];
+    const std::uint32_t lv = local_plus_one[e.v];
+    TSD_DCHECK(lu != 0 && lv != 0);
+    const std::uint32_t a = std::min(lu, lv) - 1;
+    const std::uint32_t b = std::max(lu, lv) - 1;
+    keys.push_back((static_cast<std::uint64_t>(a) << 32) | b);
+  }
+  std::sort(keys.begin(), keys.end());
+  out->edges.clear();
+  out->edges.reserve(keys.size());
+  for (std::uint64_t key : keys) {
+    out->edges.push_back(Edge{static_cast<VertexId>(key >> 32),
+                              static_cast<VertexId>(key & 0xFFFFFFFFu)});
+  }
+  for (VertexId member : out->members) local_plus_one[member] = 0;
+}
+
+}  // namespace tsd

@@ -1,0 +1,116 @@
+// Ego-network extraction (Definition 1 of the paper).
+//
+// The ego-network G_N(v) is the subgraph induced by v's neighbors, with v
+// itself excluded. Two extraction strategies are implemented:
+//
+//  * EgoNetworkExtractor — per-vertex extraction by marking N(v) and
+//    scanning each member's adjacency (used by the online algorithms and
+//    TSD-index construction; each triangle at v is touched independently per
+//    center).
+//  * GlobalEgoNetworks — the Section 6.2 optimization: one global triangle
+//    listing pass distributes every triangle (u,v,w) to the three
+//    ego-networks it belongs to, so each triangle is enumerated 3 times
+//    instead of 6. Used by GCT-index construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tsd {
+
+/// A materialized ego-network with local vertex ids.
+///
+/// Local id i corresponds to global vertex members[i]; members is sorted
+/// ascending. Edges use local ids (Edge.u < Edge.v). The local CSR arrays
+/// (offsets/adj/adj_edge_ids) are filled by BuildCsr().
+struct EgoNetwork {
+  VertexId center = kInvalidVertex;
+  std::vector<VertexId> members;  // global ids of N(center), sorted
+  std::vector<Edge> edges;        // local-id pairs, sorted by (u, v)
+
+  // Local CSR (valid after BuildCsr()).
+  std::vector<std::uint32_t> offsets;
+  std::vector<VertexId> adj;
+  std::vector<EdgeId> adj_edge_ids;
+
+  std::uint32_t num_members() const {
+    return static_cast<std::uint32_t>(members.size());
+  }
+  std::uint32_t num_edges() const {
+    return static_cast<std::uint32_t>(edges.size());
+  }
+
+  VertexId ToGlobal(std::uint32_t local) const { return members[local]; }
+
+  /// Local id of a global vertex, or kInvalidVertex if absent. O(log).
+  std::uint32_t ToLocal(VertexId global) const;
+
+  /// Builds the local CSR arrays from `edges`. Idempotent.
+  void BuildCsr();
+
+  std::uint32_t LocalDegree(std::uint32_t local) const {
+    return offsets[local + 1] - offsets[local];
+  }
+  std::span<const VertexId> LocalNeighbors(std::uint32_t local) const {
+    return {adj.data() + offsets[local], adj.data() + offsets[local + 1]};
+  }
+};
+
+/// Per-vertex ego-network extraction with reusable scratch buffers.
+/// Not thread-safe; create one extractor per thread.
+class EgoNetworkExtractor {
+ public:
+  explicit EgoNetworkExtractor(const Graph& graph);
+
+  /// Extracts G_N(v). Includes isolated members (neighbors of v with no
+  /// edges inside the ego-network).
+  EgoNetwork Extract(VertexId v);
+
+  /// Extraction reusing the caller's EgoNetwork storage.
+  void ExtractInto(VertexId v, EgoNetwork* out);
+
+ private:
+  const Graph& graph_;
+  std::vector<std::uint32_t> local_id_;  // scratch: global -> local + 1, 0 = absent
+};
+
+/// One-shot global ego-network extraction (Algorithm 7, lines 1–4).
+///
+/// A single triangle-listing pass fills, for every vertex w, the list of
+/// ego edges of G_N(w) (as global-id pairs). Total storage is 3T edge slots.
+class GlobalEgoNetworks {
+ public:
+  explicit GlobalEgoNetworks(const Graph& graph);
+
+  /// Ego edges of G_N(v) as global-id pairs (u < w, unordered list).
+  std::span<const Edge> EgoEdges(VertexId v) const {
+    return {ego_edges_.data() + offsets_[v],
+            ego_edges_.data() + offsets_[v + 1]};
+  }
+
+  /// Materializes the full EgoNetwork (members = N(v), local-id edges).
+  EgoNetwork Materialize(VertexId v) const;
+  void MaterializeInto(VertexId v, EgoNetwork* out) const;
+
+  /// Seconds spent in the global triangle listing pass.
+  double listing_seconds() const { return listing_seconds_; }
+
+  /// Total number of triangles in the graph.
+  std::uint64_t num_triangles() const { return ego_edges_.size() / 3; }
+
+  std::size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(std::uint64_t) +
+           ego_edges_.size() * sizeof(Edge);
+  }
+
+ private:
+  const Graph& graph_;
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<Edge> ego_edges_;         // flat, grouped by center vertex
+  double listing_seconds_ = 0;
+};
+
+}  // namespace tsd

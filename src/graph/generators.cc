@@ -1,0 +1,307 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tsd {
+namespace {
+
+// Packs an undirected pair into a 64-bit key for dedup sets.
+std::uint64_t PairKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph ErdosRenyi(VertexId n, EdgeId m, std::uint64_t seed) {
+  TSD_CHECK(n >= 2);
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  TSD_CHECK_MSG(m <= max_edges, "G(n,m): m exceeds n(n-1)/2");
+
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  GraphBuilder builder;
+  builder.ReserveEdges(m);
+  builder.EnsureVertices(n);
+  while (seen.size() < m) {
+    const auto u = static_cast<VertexId>(rng.Uniform(n));
+    const auto v = static_cast<VertexId>(rng.Uniform(n));
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) {
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(VertexId n, std::uint32_t edges_per_vertex,
+                     std::uint64_t seed) {
+  TSD_CHECK(edges_per_vertex >= 1);
+  TSD_CHECK(n > edges_per_vertex);
+
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  builder.ReserveEdges(static_cast<std::size_t>(n) * edges_per_vertex);
+
+  // `endpoints` holds every edge endpoint once; sampling uniformly from it
+  // is preferential attachment (probability proportional to degree).
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2ULL * n * edges_per_vertex);
+
+  // Seed component: a clique on the first edges_per_vertex + 1 vertices.
+  const VertexId seed_size = edges_per_vertex + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::unordered_set<VertexId> chosen;
+  for (VertexId v = seed_size; v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < edges_per_vertex) {
+      const VertexId target = endpoints[rng.Uniform(endpoints.size())];
+      chosen.insert(target);
+    }
+    for (VertexId target : chosen) {
+      builder.AddEdge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return builder.Build();
+}
+
+Graph HolmeKim(VertexId n, std::uint32_t edges_per_vertex,
+               double triad_probability, std::uint64_t seed) {
+  TSD_CHECK(edges_per_vertex >= 1);
+  TSD_CHECK(n > edges_per_vertex);
+  TSD_CHECK(triad_probability >= 0.0 && triad_probability <= 1.0);
+
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  builder.ReserveEdges(static_cast<std::size_t>(n) * edges_per_vertex);
+
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2ULL * n * edges_per_vertex);
+  // Adjacency kept incrementally for the triad-formation step.
+  std::vector<std::vector<VertexId>> adjacency(n);
+
+  auto add_edge = [&](VertexId a, VertexId b) {
+    builder.AddEdge(a, b);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  };
+
+  const VertexId seed_size = edges_per_vertex + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) add_edge(u, v);
+  }
+
+  std::unordered_set<VertexId> chosen;
+  for (VertexId v = seed_size; v < n; ++v) {
+    chosen.clear();
+    VertexId last_target = kInvalidVertex;
+    while (chosen.size() < edges_per_vertex) {
+      VertexId target = kInvalidVertex;
+      // Triad step: close a triangle through a neighbor of the previous
+      // target (Holme–Kim "triad formation").
+      if (last_target != kInvalidVertex && rng.Bernoulli(triad_probability)) {
+        const auto& nbrs = adjacency[last_target];
+        const VertexId candidate = nbrs[rng.Uniform(nbrs.size())];
+        if (candidate != v && !chosen.contains(candidate)) {
+          target = candidate;
+        }
+      }
+      if (target == kInvalidVertex) {
+        // Preferential attachment step.
+        const VertexId candidate = endpoints[rng.Uniform(endpoints.size())];
+        if (candidate == v || chosen.contains(candidate)) continue;
+        target = candidate;
+      }
+      chosen.insert(target);
+      add_edge(v, target);
+      last_target = target;
+    }
+  }
+  return builder.Build();
+}
+
+Graph RMat(std::uint32_t scale, std::uint32_t edge_factor, double a, double b,
+           double c, std::uint64_t seed) {
+  TSD_CHECK(scale >= 1 && scale <= 30);
+  const double d = 1.0 - a - b - c;
+  TSD_CHECK_MSG(a >= 0 && b >= 0 && c >= 0 && d >= 0,
+                "R-MAT probabilities must be a partition of 1");
+
+  Rng rng(seed);
+  const VertexId n = VertexId{1} << scale;
+  const std::uint64_t samples = static_cast<std::uint64_t>(edge_factor) * n;
+
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  builder.ReserveEdges(samples);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double roll = rng.UniformDouble();
+      const bool right = roll >= a && roll < a + b;
+      const bool down = roll >= a + b && roll < a + b + c;
+      const bool diag = roll >= a + b + c;
+      u = (u << 1) | static_cast<VertexId>(down || diag);
+      v = (v << 1) | static_cast<VertexId>(right || diag);
+    }
+    if (u != v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+CollaborationGraph Collaboration(const CollaborationOptions& options,
+                                 std::uint64_t seed) {
+  TSD_CHECK(options.num_authors >= 10);
+  TSD_CHECK(options.min_group_size >= 2);
+  TSD_CHECK(options.max_group_size >= options.min_group_size);
+  TSD_CHECK(options.num_groups >= 1);
+
+  Rng rng(seed);
+  CollaborationGraph result;
+  GraphBuilder builder;
+
+  // Hubs occupy the first `num_hubs` vertex ids, regular authors the rest.
+  const VertexId num_hubs = options.num_hubs;
+  const VertexId n = options.num_authors;
+  TSD_CHECK(num_hubs < n);
+  builder.EnsureVertices(n);
+
+  // Plant the research groups over the regular-author id range.
+  result.groups.resize(options.num_groups);
+  for (auto& group : result.groups) {
+    const std::uint32_t size = static_cast<std::uint32_t>(
+        rng.UniformInRange(options.min_group_size, options.max_group_size));
+    std::unordered_set<VertexId> members;
+    while (members.size() < size) {
+      members.insert(static_cast<VertexId>(
+          rng.UniformInRange(num_hubs, n - 1)));
+    }
+    group.assign(members.begin(), members.end());
+    std::sort(group.begin(), group.end());
+    // Near-clique inside the group.
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        if (rng.Bernoulli(options.intra_group_probability)) {
+          builder.AddEdge(group[i], group[j]);
+        }
+      }
+    }
+  }
+
+  // Plant the hubs: each joins `groups_per_hub` distinct groups and
+  // co-authors with every member (the "prolific author" of the case study).
+  for (VertexId hub = 0; hub < num_hubs; ++hub) {
+    result.hubs.push_back(hub);
+    std::unordered_set<std::uint32_t> joined;
+    while (joined.size() <
+           std::min<std::uint32_t>(options.groups_per_hub,
+                                   options.num_groups)) {
+      joined.insert(
+          static_cast<std::uint32_t>(rng.Uniform(options.num_groups)));
+    }
+    std::vector<std::uint32_t> hub_groups(joined.begin(), joined.end());
+    for (std::uint32_t g : hub_groups) {
+      for (VertexId member : result.groups[g]) {
+        builder.AddEdge(hub, member);
+      }
+    }
+    // Weak ties between the hub's groups: they connect the contexts into
+    // one component but are too triangle-poor to join any k-truss.
+    if (hub_groups.size() >= 2) {
+      for (std::uint32_t t = 0; t < options.inter_group_ties_per_hub; ++t) {
+        const std::uint32_t gi = static_cast<std::uint32_t>(
+            rng.Uniform(hub_groups.size()));
+        std::uint32_t gj = static_cast<std::uint32_t>(
+            rng.Uniform(hub_groups.size()));
+        if (gi == gj) gj = (gj + 1) % hub_groups.size();
+        const auto& group_a = result.groups[hub_groups[gi]];
+        const auto& group_b = result.groups[hub_groups[gj]];
+        builder.AddEdge(group_a[rng.Uniform(group_a.size())],
+                        group_b[rng.Uniform(group_b.size())]);
+      }
+    }
+  }
+
+  // Sparse random cross-group bridges.
+  const auto num_bridges = static_cast<std::uint64_t>(
+      options.bridge_edges_per_author * static_cast<double>(n));
+  for (std::uint64_t i = 0; i < num_bridges; ++i) {
+    const auto u = static_cast<VertexId>(rng.Uniform(n));
+    const auto v = static_cast<VertexId>(rng.Uniform(n));
+    if (u != v) builder.AddEdge(u, v);
+  }
+
+  result.graph = builder.Build();
+  return result;
+}
+
+Graph PaperFigure1Graph() {
+  // Vertex ids: 0=v, 1..4=x1..x4, 5..8=y1..y4, 9..14=r1..r6, 15=s1, 16=s2.
+  GraphBuilder builder;
+  builder.EnsureVertices(17);
+
+  // v is adjacent to every x, y, r vertex (they form its ego-network).
+  for (VertexId u = 1; u <= 14; ++u) builder.AddEdge(0, u);
+
+  // H3: the x-clique {x1..x4}.
+  for (VertexId u = 1; u <= 4; ++u) {
+    for (VertexId w = u + 1; w <= 4; ++w) builder.AddEdge(u, w);
+  }
+  // H4: the y-clique {y1..y4}.
+  for (VertexId u = 5; u <= 8; ++u) {
+    for (VertexId w = u + 1; w <= 8; ++w) builder.AddEdge(u, w);
+  }
+  // The two weak bridges joining H3 and H4 into H1: (x2,y1), (x4,y1).
+  builder.AddEdge(2, 5);
+  builder.AddEdge(4, 5);
+
+  // H2: the r-part {r1..r6} is an octahedron (K_{2,2,2}) — a maximal
+  // connected 4-truss where every edge lies in exactly two triangles.
+  // Antipodal (non-adjacent) pairs: (r1,r4), (r2,r5), (r3,r6).
+  for (VertexId u = 9; u <= 14; ++u) {
+    for (VertexId w = u + 1; w <= 14; ++w) {
+      const bool antipodal = (u == 9 && w == 12) || (u == 10 && w == 13) ||
+                             (u == 11 && w == 14);
+      if (!antipodal) builder.AddEdge(u, w);
+    }
+  }
+
+  // s1, s2 sit outside v's ego-network.
+  builder.AddEdge(15, 1);
+  builder.AddEdge(15, 3);
+  builder.AddEdge(16, 6);
+  builder.AddEdge(16, 7);
+
+  return builder.Build();
+}
+
+const char* PaperFigure1VertexName(VertexId v) {
+  static const char* kNames[] = {"v",  "x1", "x2", "x3", "x4", "y1",
+                                 "y2", "y3", "y4", "r1", "r2", "r3",
+                                 "r4", "r5", "r6", "s1", "s2"};
+  TSD_CHECK(v < 17);
+  return kNames[v];
+}
+
+}  // namespace tsd

@@ -1,0 +1,85 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace tsd {
+
+Graph Graph::FromEdges(std::vector<std::pair<VertexId, VertexId>> edges,
+                       VertexId num_vertices) {
+  GraphBuilder builder;
+  builder.ReserveEdges(edges.size());
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  builder.EnsureVertices(num_vertices);
+  return builder.Build();
+}
+
+EdgeId Graph::FindEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices_ || v >= num_vertices_ || u == v) {
+    return kInvalidEdge;
+  }
+  // Search the smaller adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  return incident_edges(u)[static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+std::size_t Graph::MemoryBytes() const {
+  return offsets_.size() * sizeof(std::uint64_t) +
+         adj_.size() * sizeof(VertexId) +
+         adj_edge_ids_.size() * sizeof(EdgeId) + edges_.size() * sizeof(Edge);
+}
+
+Graph GraphBuilder::Build() {
+  // Drop self-loops, canonicalize, dedup.
+  std::erase_if(edges_, [](const auto& e) { return e.first == e.second; });
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  TSD_CHECK_MSG(num_vertices_ <= kInvalidVertex,
+                "vertex count overflows VertexId");
+  TSD_CHECK_MSG(edges_.size() < kInvalidEdge, "edge count overflows EdgeId");
+
+  Graph g;
+  g.num_vertices_ = static_cast<VertexId>(num_vertices_);
+  const VertexId n = g.num_vertices_;
+  const std::size_t m = edges_.size();
+
+  g.edges_.reserve(m);
+  for (const auto& [u, v] : edges_) g.edges_.push_back(Edge{u, v});
+
+  // Degree counting pass.
+  std::vector<std::uint64_t> degree(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++degree[u];
+    ++degree[v];
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+    g.max_degree_ =
+        std::max(g.max_degree_, static_cast<std::uint32_t>(degree[v]));
+  }
+
+  // Fill pass. Edges are sorted by (u, v) with u < v, so each adjacency list
+  // comes out sorted without an extra pass: for vertex x, all smaller
+  // neighbors u < x arrive first (from earlier (u, x) blocks, u ascending),
+  // then all larger neighbors v > x (from x's own (x, v) block, v ascending).
+  g.adj_.resize(2 * m);
+  g.adj_edge_ids_.resize(2 * m);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto [u, v] = edges_[e];
+    g.adj_[cursor[u]] = v;
+    g.adj_edge_ids_[cursor[u]++] = e;
+    g.adj_[cursor[v]] = u;
+    g.adj_edge_ids_[cursor[v]++] = e;
+  }
+
+  edges_.clear();
+  num_vertices_ = 0;
+  return g;
+}
+
+}  // namespace tsd

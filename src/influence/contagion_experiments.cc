@@ -1,0 +1,159 @@
+#include "influence/contagion_experiments.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tsd {
+
+std::vector<ScoreGroup> ActivationRateByScoreGroup(
+    const IndependentCascade& cascade, std::span<const std::uint32_t> scores,
+    std::uint32_t num_groups, std::span<const VertexId> seeds,
+    std::uint32_t runs, std::uint64_t seed) {
+  TSD_CHECK(num_groups >= 1);
+  TSD_CHECK(scores.size() == cascade.graph().num_vertices());
+
+  // Vertices with a positive score, ordered by (score, id).
+  std::vector<VertexId> candidates;
+  for (VertexId v = 0; v < scores.size(); ++v) {
+    if (scores[v] > 0) candidates.push_back(v);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](VertexId a, VertexId b) {
+              if (scores[a] != scores[b]) return scores[a] < scores[b];
+              return a < b;
+            });
+
+  const std::vector<double> probability =
+      cascade.EstimateActivationProbability(seeds, runs, seed);
+
+  std::vector<ScoreGroup> groups;
+  if (candidates.empty()) return groups;
+  // Score-interval boundaries (as in the paper's Fig. 13 groups): aim for
+  // equal populations but never split one score value across two groups —
+  // otherwise the within-score ordering (vertex id) would leak into the
+  // group statistics. Each group's population target is computed from what
+  // remains, so one dominant score value cannot swallow all later groups.
+  std::size_t begin = 0;
+  for (std::uint32_t g = 0; g < num_groups && begin < candidates.size();
+       ++g) {
+    const std::size_t target = std::max<std::size_t>(
+        1, (candidates.size() - begin) / (num_groups - g));
+    std::size_t end = (g + 1 == num_groups)
+                          ? candidates.size()
+                          : std::min(candidates.size(), begin + target);
+    // Extend to the end of the current score value.
+    while (end < candidates.size() &&
+           scores[candidates[end]] == scores[candidates[end - 1]]) {
+      ++end;
+    }
+    ScoreGroup group;
+    group.score_low = scores[candidates[begin]];
+    group.score_high = scores[candidates[end - 1]];
+    group.num_vertices = end - begin;
+    double sum = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      sum += probability[candidates[i]];
+    }
+    group.activation_rate = sum / static_cast<double>(end - begin);
+    groups.push_back(group);
+    begin = end;
+  }
+  return groups;
+}
+
+double ExpectedActivatedTargets(const IndependentCascade& cascade,
+                                std::span<const VertexId> seeds,
+                                std::span<const VertexId> targets,
+                                std::uint32_t runs, std::uint64_t seed) {
+  const std::vector<double> probability =
+      cascade.EstimateActivationProbability(seeds, runs, seed);
+  double expected = 0;
+  for (VertexId t : targets) expected += probability[t];
+  return expected;
+}
+
+std::vector<double> ActivationLatencyCurve(const IndependentCascade& cascade,
+                                           std::span<const VertexId> seeds,
+                                           std::span<const VertexId> targets,
+                                           std::uint32_t runs,
+                                           std::uint64_t seed) {
+  TSD_CHECK(runs > 0);
+  Rng rng(seed);
+  std::vector<double> round_sum(targets.size(), 0);
+  std::vector<std::uint32_t> observations(targets.size(), 0);
+  std::vector<std::int32_t> activation_rounds;
+  for (std::uint32_t run = 0; run < runs; ++run) {
+    const CascadeResult result = cascade.Run(seeds, rng);
+    activation_rounds.clear();
+    for (VertexId t : targets) {
+      if (result.round[t] >= 0) activation_rounds.push_back(result.round[t]);
+    }
+    std::sort(activation_rounds.begin(), activation_rounds.end());
+    for (std::size_t x = 0; x < activation_rounds.size(); ++x) {
+      round_sum[x] += activation_rounds[x];
+      ++observations[x];
+    }
+  }
+  std::vector<double> curve(targets.size(), 0);
+  for (std::size_t x = 0; x < targets.size(); ++x) {
+    if (observations[x] > 0) curve[x] = round_sum[x] / observations[x];
+  }
+  // Trim trailing never-observed ranks.
+  while (!curve.empty() && observations[curve.size() - 1] == 0) {
+    curve.pop_back();
+  }
+  return curve;
+}
+
+double CenterActivationProbability(const Graph& graph, VertexId center,
+                                   std::uint32_t num_seeds, double probability,
+                                   std::uint32_t runs, std::uint64_t seed) {
+  TSD_CHECK(center < graph.num_vertices());
+  const auto nbrs = graph.neighbors(center);
+  TSD_CHECK_MSG(nbrs.size() >= num_seeds,
+                "center has fewer neighbors than requested seeds");
+
+  // Build H* = induced subgraph on N(center) ∪ {center} with local ids;
+  // local id of a member = its position, center last.
+  std::vector<VertexId> members(nbrs.begin(), nbrs.end());
+  members.push_back(center);
+  std::sort(members.begin(), members.end());
+  auto to_local = [&](VertexId g) {
+    return static_cast<VertexId>(
+        std::lower_bound(members.begin(), members.end(), g) -
+        members.begin());
+  };
+  GraphBuilder builder;
+  builder.EnsureVertices(static_cast<VertexId>(members.size()));
+  for (VertexId u : members) {
+    for (VertexId w : graph.neighbors(u)) {
+      if (w > u && std::binary_search(members.begin(), members.end(), w)) {
+        builder.AddEdge(to_local(u), to_local(w));
+      }
+    }
+  }
+  const Graph h_star = builder.Build();
+  const VertexId local_center = to_local(center);
+
+  IndependentCascade cascade(h_star, probability);
+  Rng rng(seed);
+  std::uint32_t activated = 0;
+  std::vector<VertexId> local_neighbors;
+  for (VertexId u : nbrs) local_neighbors.push_back(to_local(u));
+
+  std::vector<VertexId> seeds(num_seeds);
+  for (std::uint32_t run = 0; run < runs; ++run) {
+    // Fresh random seed set per run (paper: 10 random influential seeds).
+    for (std::uint32_t i = 0; i < num_seeds; ++i) {
+      seeds[i] = local_neighbors[rng.Uniform(local_neighbors.size())];
+    }
+    const CascadeResult result = cascade.Run(seeds, rng);
+    activated += result.round[local_center] >= 0 ? 1 : 0;
+  }
+  return static_cast<double>(activated) / runs;
+}
+
+}  // namespace tsd

@@ -1,0 +1,56 @@
+// Harness for the paper's effectiveness experiments (Section 7.2):
+//  Exp-7 / Fig 13 — activation rate by structural-diversity score group,
+//  Exp-8 / Fig 14 — expected number of activated vertices among the top-r
+//                   picks of competing diversity models,
+//  Exp-9 / Fig 15 — activation latency (rounds) curves,
+//  Exp-12 / Table 5 — activation probability of an ego-network's center.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "influence/independent_cascade.h"
+
+namespace tsd {
+
+/// One score-interval group of Fig 13.
+struct ScoreGroup {
+  std::uint32_t score_low = 0;
+  std::uint32_t score_high = 0;
+  std::uint64_t num_vertices = 0;
+  double activation_rate = 0;  // mean activation probability in the group
+};
+
+/// Partitions the vertices with positive `scores` into `num_groups` roughly
+/// equal-population groups by score (low to high) and returns each group's
+/// mean activation probability under IC from `seeds` (Exp-7).
+std::vector<ScoreGroup> ActivationRateByScoreGroup(
+    const IndependentCascade& cascade, std::span<const std::uint32_t> scores,
+    std::uint32_t num_groups, std::span<const VertexId> seeds,
+    std::uint32_t runs, std::uint64_t seed);
+
+/// Expected number of `targets` activated by cascades from `seeds` (Exp-8).
+double ExpectedActivatedTargets(const IndependentCascade& cascade,
+                                std::span<const VertexId> seeds,
+                                std::span<const VertexId> targets,
+                                std::uint32_t runs, std::uint64_t seed);
+
+/// Latency curve (Exp-9): element x-1 is the mean activation round of the
+/// x-th activated target (averaged over runs where at least x targets
+/// activate; 0 entries mean "never observed").
+std::vector<double> ActivationLatencyCurve(const IndependentCascade& cascade,
+                                           std::span<const VertexId> seeds,
+                                           std::span<const VertexId> targets,
+                                           std::uint32_t runs,
+                                           std::uint64_t seed);
+
+/// Exp-12: builds H* = the subgraph induced by N(center) ∪ {center},
+/// activates `num_seeds` random members of N(center), and returns the
+/// probability that `center` itself activates under IC with `probability`.
+double CenterActivationProbability(const Graph& graph, VertexId center,
+                                   std::uint32_t num_seeds, double probability,
+                                   std::uint32_t runs, std::uint64_t seed);
+
+}  // namespace tsd

@@ -1,0 +1,91 @@
+#include "influence/independent_cascade.h"
+
+#include "common/check.h"
+
+namespace tsd {
+
+IndependentCascade::IndependentCascade(const Graph& graph, double probability)
+    : graph_(graph), probability_(probability) {
+  TSD_CHECK(probability >= 0.0 && probability <= 1.0);
+}
+
+CascadeResult IndependentCascade::Run(std::span<const VertexId> seeds,
+                                      Rng& rng) const {
+  CascadeResult result;
+  result.round.assign(graph_.num_vertices(), -1);
+
+  // Frontier-by-frontier BFS where each edge crossing flips its own coin.
+  std::vector<VertexId> frontier;
+  frontier.reserve(seeds.size());
+  for (VertexId s : seeds) {
+    TSD_DCHECK(s < graph_.num_vertices());
+    if (result.round[s] == -1) {
+      result.round[s] = 0;
+      frontier.push_back(s);
+      ++result.num_activated;
+    }
+  }
+
+  std::vector<VertexId> next;
+  std::int32_t round = 1;
+  while (!frontier.empty()) {
+    next.clear();
+    for (VertexId u : frontier) {
+      for (VertexId v : graph_.neighbors(u)) {
+        if (result.round[v] != -1) continue;
+        if (rng.Bernoulli(probability_)) {
+          result.round[v] = round;
+          next.push_back(v);
+          ++result.num_activated;
+        }
+      }
+    }
+    frontier.swap(next);
+    ++round;
+  }
+  return result;
+}
+
+double IndependentCascade::EstimateSpread(std::span<const VertexId> seeds,
+                                          std::uint32_t runs,
+                                          std::uint64_t seed) const {
+  TSD_CHECK(runs > 0);
+  Rng rng(seed);
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    total += Run(seeds, rng).num_activated;
+  }
+  return static_cast<double>(total) / runs;
+}
+
+std::vector<double> IndependentCascade::EstimateActivationProbability(
+    std::span<const VertexId> seeds, std::uint32_t runs, std::uint64_t seed,
+    std::vector<double>* mean_round) const {
+  TSD_CHECK(runs > 0);
+  Rng rng(seed);
+  std::vector<std::uint64_t> activations(graph_.num_vertices(), 0);
+  std::vector<std::uint64_t> round_sum(graph_.num_vertices(), 0);
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    const CascadeResult run = Run(seeds, rng);
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      if (run.round[v] >= 0) {
+        ++activations[v];
+        round_sum[v] += static_cast<std::uint64_t>(run.round[v]);
+      }
+    }
+  }
+  std::vector<double> probability(graph_.num_vertices());
+  if (mean_round != nullptr) {
+    mean_round->assign(graph_.num_vertices(), 0.0);
+  }
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    probability[v] = static_cast<double>(activations[v]) / runs;
+    if (mean_round != nullptr && activations[v] > 0) {
+      (*mean_round)[v] =
+          static_cast<double>(round_sum[v]) / activations[v];
+    }
+  }
+  return probability;
+}
+
+}  // namespace tsd

@@ -1,0 +1,35 @@
+// k-core decomposition (Batagelj–Zaveršnik bin-sort peeling).
+//
+// Substrate for the Core-Div baseline [20]: the core number of a vertex is
+// the largest k such that it belongs to a subgraph of minimum degree k.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tsd {
+
+class CoreDecomposition {
+ public:
+  /// O(n + m) peeling on construction.
+  explicit CoreDecomposition(const Graph& graph);
+
+  std::uint32_t core(VertexId v) const { return core_[v]; }
+  const std::vector<std::uint32_t>& core_numbers() const { return core_; }
+  std::uint32_t max_core() const { return max_core_; }
+
+ private:
+  std::vector<std::uint32_t> core_;
+  std::uint32_t max_core_ = 0;
+};
+
+/// Core numbers for an arbitrary CSR slice (used on local ego-networks).
+/// `offsets`/`adj` describe the local graph over ids [0, num_vertices).
+std::vector<std::uint32_t> CoreNumbersCsr(std::size_t num_vertices,
+                                          std::span<const std::uint32_t> offsets,
+                                          std::span<const VertexId> adj);
+
+}  // namespace tsd

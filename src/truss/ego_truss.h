@@ -1,0 +1,57 @@
+// Truss decomposition of ego-networks.
+//
+// Two interchangeable kernels:
+//  * kHash   — classic adjacency-intersection support computation followed
+//              by bucket peeling (what TSD-index construction uses).
+//  * kBitmap — the Section 6.2 optimization: per-vertex adjacency bitmaps;
+//              support is AND-popcount; the peeling updates bitmaps as edges
+//              are removed. Faster on dense ego-networks, falls back to
+//              kHash automatically when the bitmap footprint (|N(v)|² bits)
+//              would exceed a memory budget.
+//
+// Both return the per-edge trussness of the ego-network, parallel to
+// EgoNetwork::edges, and are verified equivalent by property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "graph/ego_network.h"
+
+namespace tsd {
+
+enum class EgoTrussMethod {
+  kHash,
+  kBitmap,
+  kAuto,  // bitmap when it fits the budget, hash otherwise
+};
+
+/// Stateful decomposer with reusable scratch buffers; create one per thread
+/// and feed it ego-networks one at a time.
+class EgoTrussDecomposer {
+ public:
+  /// `bitmap_budget_bytes` caps the transient bitmap matrix; above it,
+  /// kAuto and kBitmap fall back to the hash kernel.
+  explicit EgoTrussDecomposer(EgoTrussMethod method = EgoTrussMethod::kAuto,
+                              std::size_t bitmap_budget_bytes = 64ull << 20);
+
+  /// Computes the trussness of every ego edge. Builds the ego CSR if absent.
+  std::vector<std::uint32_t> Compute(EgoNetwork& ego);
+
+  EgoTrussMethod method() const { return method_; }
+
+ private:
+  std::vector<std::uint32_t> ComputeHash(EgoNetwork& ego);
+  std::vector<std::uint32_t> ComputeBitmap(EgoNetwork& ego);
+
+  EgoTrussMethod method_;
+  std::size_t bitmap_budget_bytes_;
+  std::vector<Bitmap> bitmaps_;  // reused across calls
+};
+
+/// One-shot convenience wrapper.
+std::vector<std::uint32_t> ComputeEgoTrussness(
+    EgoNetwork& ego, EgoTrussMethod method = EgoTrussMethod::kAuto);
+
+}  // namespace tsd

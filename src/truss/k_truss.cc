@@ -1,0 +1,101 @@
+#include "truss/k_truss.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/disjoint_set.h"
+
+namespace tsd {
+namespace {
+
+/// Groups vertices by their DSU root, keeping only vertices where
+/// `include[v]` is true. Output components sorted by smallest member.
+std::vector<std::vector<VertexId>> CollectComponents(
+    DisjointSet& dsu, const std::vector<char>& include) {
+  std::unordered_map<std::uint32_t, std::vector<VertexId>> by_root;
+  for (VertexId v = 0; v < include.size(); ++v) {
+    if (include[v]) by_root[dsu.Find(v)].push_back(v);
+  }
+  std::vector<std::vector<VertexId>> components;
+  components.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    components.push_back(std::move(members));
+  }
+  std::sort(components.begin(), components.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return components;
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> MaximalConnectedKTrusses(
+    const Graph& graph, const std::vector<std::uint32_t>& edge_trussness,
+    std::uint32_t k) {
+  TSD_CHECK(edge_trussness.size() == graph.num_edges());
+  DisjointSet dsu(graph.num_vertices());
+  std::vector<char> touched(graph.num_vertices(), 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (edge_trussness[e] >= k) {
+      const Edge& edge = graph.edge(e);
+      dsu.Union(edge.u, edge.v);
+      touched[edge.u] = 1;
+      touched[edge.v] = 1;
+    }
+  }
+  return CollectComponents(dsu, touched);
+}
+
+std::vector<EdgeId> KTrussEdges(
+    const Graph& graph, const std::vector<std::uint32_t>& edge_trussness,
+    std::uint32_t k) {
+  TSD_CHECK(edge_trussness.size() == graph.num_edges());
+  std::vector<EdgeId> kept;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (edge_trussness[e] >= k) kept.push_back(e);
+  }
+  return kept;
+}
+
+Graph KTrussSubgraph(const Graph& graph,
+                     const std::vector<std::uint32_t>& edge_trussness,
+                     std::uint32_t k) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (edge_trussness[e] >= k) {
+      const Edge& edge = graph.edge(e);
+      edges.emplace_back(edge.u, edge.v);
+    }
+  }
+  return Graph::FromEdges(std::move(edges), graph.num_vertices());
+}
+
+std::vector<std::vector<VertexId>> MaximalConnectedKCores(
+    const Graph& graph, const std::vector<std::uint32_t>& core_numbers,
+    std::uint32_t k) {
+  TSD_CHECK(core_numbers.size() == graph.num_vertices());
+  DisjointSet dsu(graph.num_vertices());
+  std::vector<char> qualified(graph.num_vertices(), 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    qualified[v] = core_numbers[v] >= k ? 1 : 0;
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    if (qualified[edge.u] && qualified[edge.v]) dsu.Union(edge.u, edge.v);
+  }
+  return CollectComponents(dsu, qualified);
+}
+
+std::vector<std::vector<VertexId>> ComponentsOfMinSize(
+    const Graph& graph, std::uint32_t min_size) {
+  DisjointSet dsu(graph.num_vertices());
+  for (const Edge& edge : graph.edges()) dsu.Union(edge.u, edge.v);
+  std::vector<char> include(graph.num_vertices(), 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    include[v] = dsu.SetSize(v) >= min_size ? 1 : 0;
+  }
+  return CollectComponents(dsu, include);
+}
+
+}  // namespace tsd

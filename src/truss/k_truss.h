@@ -1,0 +1,44 @@
+// k-truss / k-core subgraph extraction and component identification.
+//
+// "Maximal connected k-truss" is the paper's social-context unit (Def. 2):
+// a connected component of the k-truss. Components are edge-induced — a
+// vertex belongs to a component only if it is incident to a k-truss edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tsd {
+
+/// Connected components of the k-truss of `graph`, given precomputed edge
+/// trussness. Each component is a sorted vertex list; components are sorted
+/// by their smallest vertex for deterministic output.
+std::vector<std::vector<VertexId>> MaximalConnectedKTrusses(
+    const Graph& graph, const std::vector<std::uint32_t>& edge_trussness,
+    std::uint32_t k);
+
+/// Edge ids of the k-truss (trussness ≥ k).
+std::vector<EdgeId> KTrussEdges(const Graph& graph,
+                                const std::vector<std::uint32_t>& edge_trussness,
+                                std::uint32_t k);
+
+/// The k-truss as a standalone graph (same vertex id space; non-k-truss
+/// edges dropped). Used for graph sparsification in Algorithm 4.
+Graph KTrussSubgraph(const Graph& graph,
+                     const std::vector<std::uint32_t>& edge_trussness,
+                     std::uint32_t k);
+
+/// Connected components of the subgraph induced by vertices with core
+/// number ≥ k — the "maximal connected k-cores" of the Core-Div model [20].
+std::vector<std::vector<VertexId>> MaximalConnectedKCores(
+    const Graph& graph, const std::vector<std::uint32_t>& core_numbers,
+    std::uint32_t k);
+
+/// Connected components (of the whole graph) with at least `min_size`
+/// vertices — the social contexts of the Comp-Div model [7], [21].
+std::vector<std::vector<VertexId>> ComponentsOfMinSize(
+    const Graph& graph, std::uint32_t min_size);
+
+}  // namespace tsd

@@ -1,0 +1,85 @@
+// Shared support-peeling kernel (Algorithm 1 of the paper, after Wang–Cheng).
+//
+// Works over any CSR-shaped graph view (the global Graph or a local
+// ego-network), so the global truss decomposition and the per-ego
+// decomposition share one audited implementation.
+//
+// Given initial edge supports, repeatedly removes a minimum-support edge,
+// assigns its trussness k = support + 2 (monotonically non-decreasing), and
+// decrements the support of the two other edges of every triangle the removed
+// edge participated in. Bucket-queue order gives O(1) amortized pops.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/bucket_queue.h"
+#include "graph/graph.h"
+
+namespace tsd {
+
+/// CSR view over which peeling runs. Offsets may be 32- or 64-bit.
+template <typename OffsetT>
+struct CsrView {
+  std::size_t num_vertices = 0;
+  std::span<const OffsetT> offsets;     // size num_vertices + 1
+  std::span<const VertexId> adj;        // neighbor ids, sorted per vertex
+  std::span<const EdgeId> adj_edge_ids; // parallel to adj
+  std::span<const Edge> edges;          // endpoints per edge id
+
+  std::uint32_t degree(VertexId v) const {
+    return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+  }
+};
+
+/// Peels edges by support and returns the trussness of every edge.
+/// `support` is consumed (moved into the queue).
+template <typename OffsetT>
+std::vector<std::uint32_t> PeelSupportToTrussness(
+    const CsrView<OffsetT>& view, std::vector<std::uint32_t> support) {
+  const std::size_t m = view.edges.size();
+  std::vector<std::uint32_t> trussness(m, 2);
+  if (m == 0) return trussness;
+
+  BucketQueue queue(support);
+  std::uint32_t level = 0;  // current peeling level in support space (k-2)
+
+  // Scratch for the common-neighbor scan.
+  while (!queue.Empty()) {
+    const EdgeId e = queue.PopMin();
+    level = std::max(level, queue.Key(e));
+    trussness[e] = level + 2;
+
+    const auto [u0, v0] = view.edges[e];
+    // Scan the smaller adjacency; binary-search the larger for membership.
+    VertexId u = u0;
+    VertexId v = v0;
+    if (view.degree(u) > view.degree(v)) std::swap(u, v);
+
+    const auto u_begin = view.offsets[u];
+    const auto u_end = view.offsets[u + 1];
+    const auto v_begin = view.offsets[v];
+    const auto v_end = view.offsets[v + 1];
+    for (auto i = u_begin; i < u_end; ++i) {
+      const VertexId w = view.adj[i];
+      if (w == v) continue;
+      const EdgeId e_uw = view.adj_edge_ids[i];
+      if (queue.Removed(e_uw)) continue;
+      // Find edge (v, w).
+      const auto it = std::lower_bound(view.adj.begin() + v_begin,
+                                       view.adj.begin() + v_end, w);
+      if (it == view.adj.begin() + v_end || *it != w) continue;
+      const EdgeId e_vw =
+          view.adj_edge_ids[static_cast<std::size_t>(it - view.adj.begin())];
+      if (queue.Removed(e_vw)) continue;
+      // Triangle (u, v, w) loses edge e: the other two edges each lose one
+      // unit of support (clamped at the current level).
+      queue.DecreaseKeyClamped(e_uw, level);
+      queue.DecreaseKeyClamped(e_vw, level);
+    }
+  }
+  return trussness;
+}
+
+}  // namespace tsd

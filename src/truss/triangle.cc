@@ -1,0 +1,101 @@
+#include "truss/triangle.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tsd {
+namespace internal {
+
+ForwardAdjacency::ForwardAdjacency(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+
+  // Degree order: rank by (degree, id). Counting sort on degree.
+  rank.resize(n);
+  {
+    std::vector<std::uint32_t> count(graph.max_degree() + 2, 0);
+    for (VertexId v = 0; v < n; ++v) ++count[graph.degree(v) + 1];
+    for (std::size_t d = 1; d < count.size(); ++d) count[d] += count[d - 1];
+    // Assign ranks in id order within each degree class => (degree, id).
+    for (VertexId v = 0; v < n; ++v) rank[v] = count[graph.degree(v)]++;
+  }
+
+  offsets.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t forward = 0;
+    for (VertexId u : graph.neighbors(v)) {
+      if (rank[u] > rank[v]) ++forward;
+    }
+    offsets[v + 1] = offsets[v] + forward;
+  }
+
+  const std::uint64_t total = offsets[n];
+  neighbors.resize(total);
+  edge_ids.resize(total);
+  neighbor_ranks.resize(total);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = graph.neighbors(v);
+    const auto eids = graph.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (rank[nbrs[i]] > rank[v]) {
+        const auto pos = cursor[v]++;
+        neighbors[pos] = nbrs[i];
+        edge_ids[pos] = eids[i];
+        neighbor_ranks[pos] = rank[nbrs[i]];
+      }
+    }
+    // Sort this vertex's forward slice by rank.
+    const auto begin = offsets[v];
+    const auto end = offsets[v + 1];
+    std::vector<std::size_t> order(end - begin);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return neighbor_ranks[begin + a] < neighbor_ranks[begin + b];
+    });
+    std::vector<VertexId> tmp_n(end - begin);
+    std::vector<EdgeId> tmp_e(end - begin);
+    std::vector<std::uint32_t> tmp_r(end - begin);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      tmp_n[i] = neighbors[begin + order[i]];
+      tmp_e[i] = edge_ids[begin + order[i]];
+      tmp_r[i] = neighbor_ranks[begin + order[i]];
+    }
+    std::copy(tmp_n.begin(), tmp_n.end(), neighbors.begin() + begin);
+    std::copy(tmp_e.begin(), tmp_e.end(), edge_ids.begin() + begin);
+    std::copy(tmp_r.begin(), tmp_r.end(), neighbor_ranks.begin() + begin);
+  }
+}
+
+}  // namespace internal
+
+std::uint64_t CountTriangles(const Graph& graph) {
+  std::uint64_t count = 0;
+  ForEachTriangle(graph, [&](VertexId, VertexId, VertexId, EdgeId, EdgeId,
+                             EdgeId) { ++count; });
+  return count;
+}
+
+std::vector<std::uint32_t> ComputeSupport(const Graph& graph) {
+  std::vector<std::uint32_t> support(graph.num_edges(), 0);
+  ForEachTriangle(graph,
+                  [&](VertexId, VertexId, VertexId, EdgeId e_uv, EdgeId e_uw,
+                      EdgeId e_vw) {
+                    ++support[e_uv];
+                    ++support[e_uw];
+                    ++support[e_vw];
+                  });
+  return support;
+}
+
+std::vector<std::uint32_t> TrianglesPerVertex(const Graph& graph) {
+  std::vector<std::uint32_t> count(graph.num_vertices(), 0);
+  ForEachTriangle(graph, [&](VertexId u, VertexId v, VertexId w, EdgeId,
+                             EdgeId, EdgeId) {
+    ++count[u];
+    ++count[v];
+    ++count[w];
+  });
+  return count;
+}
+
+}  // namespace tsd

@@ -1,0 +1,39 @@
+#include "truss/truss_decomposition.h"
+
+#include <algorithm>
+
+#include "truss/peeling.h"
+#include "truss/triangle.h"
+
+namespace tsd {
+
+TrussDecomposition::TrussDecomposition(const Graph& graph) {
+  std::vector<std::uint32_t> support = ComputeSupport(graph);
+
+  // Adapt the graph's CSR arrays to the shared peeling kernel.
+  CsrView<std::uint64_t> view;
+  view.num_vertices = graph.num_vertices();
+  view.edges = graph.edges();
+  view.offsets = graph.offsets();
+  view.adj = graph.adjacency();
+  view.adj_edge_ids = graph.adjacency_edge_ids();
+  edge_trussness_ = PeelSupportToTrussness(view, std::move(support));
+
+  vertex_trussness_.assign(graph.num_vertices(), 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    vertex_trussness_[edge.u] =
+        std::max(vertex_trussness_[edge.u], edge_trussness_[e]);
+    vertex_trussness_[edge.v] =
+        std::max(vertex_trussness_[edge.v], edge_trussness_[e]);
+    max_trussness_ = std::max(max_trussness_, edge_trussness_[e]);
+  }
+}
+
+std::vector<std::uint64_t> TrussDecomposition::TrussnessHistogram() const {
+  std::vector<std::uint64_t> histogram(max_trussness_ + 1, 0);
+  for (std::uint32_t t : edge_trussness_) ++histogram[t];
+  return histogram;
+}
+
+}  // namespace tsd

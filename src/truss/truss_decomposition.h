@@ -1,0 +1,46 @@
+// Global truss decomposition (Algorithm 1 of the paper; Wang–Cheng).
+//
+// Computes the trussness τ_G(e) of every edge: the largest k such that e
+// belongs to the k-truss of G. The k-truss of G for any k is then the set of
+// edges with trussness ≥ k. Also derives vertex trussness (the max over
+// incident edges), used by graph sparsification and GCT supernode
+// initialization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tsd {
+
+class TrussDecomposition {
+ public:
+  /// Runs support computation + peeling on construction. O(ρ·m) time.
+  explicit TrussDecomposition(const Graph& graph);
+
+  /// Trussness of edge e (≥ 2 for every edge).
+  std::uint32_t trussness(EdgeId e) const { return edge_trussness_[e]; }
+
+  const std::vector<std::uint32_t>& edge_trussness() const {
+    return edge_trussness_;
+  }
+
+  /// Vertex trussness: max trussness over incident edges (0 if isolated).
+  std::uint32_t vertex_trussness(VertexId v) const {
+    return vertex_trussness_[v];
+  }
+
+  /// Maximum edge trussness τ*_G (0 on an edgeless graph).
+  std::uint32_t max_trussness() const { return max_trussness_; }
+
+  /// histogram[k] = number of edges with trussness exactly k (Figure 3).
+  std::vector<std::uint64_t> TrussnessHistogram() const;
+
+ private:
+  std::vector<std::uint32_t> edge_trussness_;
+  std::vector<std::uint32_t> vertex_trussness_;
+  std::uint32_t max_trussness_ = 0;
+};
+
+}  // namespace tsd

@@ -1,0 +1,117 @@
+// Tests for the Comp-Div / Core-Div baseline searchers and random selection:
+// agreement with brute-force model evaluation, determinism, early
+// termination correctness, and search statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/baselines.h"
+#include "core/scoring.h"
+#include "graph/ego_network.h"
+#include "graph/generators.h"
+
+namespace tsd {
+namespace {
+
+// Brute-force top-r for an arbitrary per-vertex scoring function.
+template <typename ScoreFn>
+std::vector<std::pair<VertexId, std::uint32_t>> BruteTopR(
+    const Graph& g, std::uint32_t r, ScoreFn&& score_fn) {
+  std::vector<std::pair<VertexId, std::uint32_t>> all;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    all.emplace_back(v, score_fn(v));
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  all.resize(std::min<std::size_t>(r, all.size()));
+  return all;
+}
+
+TEST(CompDivSearcherTest, MatchesBruteForce) {
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    Graph g = HolmeKim(150, 4, 0.5, seed);
+    EgoNetworkExtractor extractor(g);
+    CompDivSearcher searcher(g);
+    for (std::uint32_t k : {2u, 3u, 5u}) {
+      const auto expected = BruteTopR(g, 10, [&](VertexId v) {
+        EgoNetwork ego = extractor.Extract(v);
+        return ScoreComponents(ego, k, false).score;
+      });
+      const TopRResult result = searcher.TopR(10, k);
+      ASSERT_EQ(result.entries.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(result.entries[i].vertex, expected[i].first)
+            << "seed=" << seed << " k=" << k << " rank=" << i;
+        EXPECT_EQ(result.entries[i].score, expected[i].second);
+      }
+    }
+  }
+}
+
+TEST(CoreDivSearcherTest, MatchesBruteForce) {
+  for (std::uint64_t seed : {3ull, 4ull}) {
+    Graph g = HolmeKim(150, 5, 0.6, seed);
+    EgoNetworkExtractor extractor(g);
+    CoreDivSearcher searcher(g);
+    for (std::uint32_t k : {2u, 3u, 4u}) {
+      const auto expected = BruteTopR(g, 8, [&](VertexId v) {
+        EgoNetwork ego = extractor.Extract(v);
+        return ScoreKCores(ego, k, false).score;
+      });
+      const TopRResult result = searcher.TopR(8, k);
+      ASSERT_EQ(result.entries.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(result.entries[i].vertex, expected[i].first)
+            << "seed=" << seed << " k=" << k << " rank=" << i;
+        EXPECT_EQ(result.entries[i].score, expected[i].second);
+      }
+    }
+  }
+}
+
+TEST(BaselineSearchersTest, EarlyTerminationPrunesButStaysExact) {
+  Graph g = HolmeKim(500, 5, 0.6, 7);
+  CompDivSearcher comp(g);
+  const TopRResult result = comp.TopR(5, 3);
+  // Pruning must have kicked in (bound-ordered candidates).
+  EXPECT_LT(result.stats.vertices_scored, g.num_vertices());
+  EXPECT_EQ(result.entries.size(), 5u);
+}
+
+TEST(BaselineSearchersTest, ContextsMatchModelDefinition) {
+  Graph g = PaperFigure1Graph();
+  CompDivSearcher comp(g);
+  const TopRResult result = comp.TopR(1, 6);
+  // Top-1 under the component model with k=6: v's ego has the 8-vertex
+  // component {x1..x4, y1..y4} and the 6-vertex octahedron.
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].vertex, 0u);
+  EXPECT_EQ(result.entries[0].score, 2u);
+  ASSERT_EQ(result.entries[0].contexts.size(), 2u);
+  EXPECT_EQ(result.entries[0].contexts[0].size(), 8u);
+  EXPECT_EQ(result.entries[0].contexts[1].size(), 6u);
+}
+
+TEST(RandomSelectTest, DistinctDeterministicWithinRange) {
+  Graph g = HolmeKim(200, 4, 0.5, 9);
+  const auto a = RandomSelect(g, 50, 11);
+  const auto b = RandomSelect(g, 50, 11);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 50u);
+  std::set<VertexId> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (VertexId v : a) EXPECT_LT(v, g.num_vertices());
+  const auto c = RandomSelect(g, 50, 12);
+  EXPECT_NE(a, c);
+}
+
+TEST(RandomSelectTest, RejectsOversizedRequest) {
+  Graph g = HolmeKim(50, 3, 0.5, 10);
+  EXPECT_THROW(RandomSelect(g, 51, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace tsd

@@ -1,0 +1,390 @@
+// Unit tests for src/common: bitmap, disjoint set, bucket queue, rng,
+// strings, table printer, flags, serialization, check macros.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/bucket_queue.h"
+#include "common/check.h"
+#include "common/disjoint_set.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace tsd {
+namespace {
+
+// ---------------------------------------------------------------- Check
+
+TEST(CheckTest, PassingCheckDoesNothing) { TSD_CHECK(1 + 1 == 2); }
+
+TEST(CheckTest, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(TSD_CHECK(false), CheckError);
+}
+
+TEST(CheckTest, FailingCheckMessageIncludesCondition) {
+  try {
+    TSD_CHECK_MSG(2 > 3, "math is broken: " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("2 > 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("math is broken: 42"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------- Bitmap
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.CountOnes(), 3u);
+}
+
+TEST(BitmapTest, ResizeClearsBits) {
+  Bitmap b(10);
+  b.Set(3);
+  b.Resize(20);
+  EXPECT_FALSE(b.Test(3));
+  EXPECT_EQ(b.CountOnes(), 0u);
+}
+
+TEST(BitmapTest, AndPopcountMatchesManualIntersection) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t size = 1 + rng() % 300;
+    Bitmap a(size);
+    Bitmap b(size);
+    std::vector<char> va(size, 0);
+    std::vector<char> vb(size, 0);
+    for (std::size_t i = 0; i < size; ++i) {
+      if (rng() % 2) {
+        a.Set(i);
+        va[i] = 1;
+      }
+      if (rng() % 3 == 0) {
+        b.Set(i);
+        vb[i] = 1;
+      }
+    }
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < size; ++i) expected += va[i] && vb[i];
+    EXPECT_EQ(a.AndPopcount(b), expected);
+    EXPECT_EQ(b.AndPopcount(a), expected);
+  }
+}
+
+TEST(BitmapTest, ForEachCommonBitVisitsExactIntersectionAscending) {
+  Bitmap a(200);
+  Bitmap b(200);
+  for (std::size_t i : {3u, 64u, 65u, 127u, 128u, 199u}) a.Set(i);
+  for (std::size_t i : {3u, 65u, 128u, 150u}) b.Set(i);
+  std::vector<std::size_t> visited;
+  a.ForEachCommonBit(b, [&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<std::size_t>{3, 65, 128}));
+}
+
+TEST(BitmapTest, ForEachSetBitAscending) {
+  Bitmap a(100);
+  for (std::size_t i : {0u, 63u, 64u, 99u}) a.Set(i);
+  std::vector<std::size_t> visited;
+  a.ForEachSetBit([&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<std::size_t>{0, 63, 64, 99}));
+}
+
+// ---------------------------------------------------------------- DSU
+
+TEST(DisjointSetTest, SingletonsAreDistinct) {
+  DisjointSet dsu(4);
+  EXPECT_EQ(dsu.NumSets(), 4u);
+  EXPECT_FALSE(dsu.Connected(0, 1));
+  EXPECT_EQ(dsu.SetSize(2), 1u);
+}
+
+TEST(DisjointSetTest, UnionMergesAndCounts) {
+  DisjointSet dsu(6);
+  EXPECT_TRUE(dsu.Union(0, 1));
+  EXPECT_TRUE(dsu.Union(1, 2));
+  EXPECT_FALSE(dsu.Union(0, 2));  // already merged
+  EXPECT_TRUE(dsu.Connected(0, 2));
+  EXPECT_EQ(dsu.SetSize(1), 3u);
+  EXPECT_EQ(dsu.NumSets(), 4u);  // {0,1,2} {3} {4} {5}
+}
+
+TEST(DisjointSetTest, ResetRestoresSingletons) {
+  DisjointSet dsu(3);
+  dsu.Union(0, 2);
+  dsu.Reset(5);
+  EXPECT_EQ(dsu.NumSets(), 5u);
+  EXPECT_FALSE(dsu.Connected(0, 2));
+}
+
+TEST(DisjointSetTest, RandomizedAgainstNaiveLabels) {
+  std::mt19937 rng(11);
+  const std::uint32_t n = 64;
+  DisjointSet dsu(n);
+  std::vector<std::uint32_t> label(n);
+  std::iota(label.begin(), label.end(), 0U);
+  for (int op = 0; op < 500; ++op) {
+    const std::uint32_t a = rng() % n;
+    const std::uint32_t b = rng() % n;
+    const bool naive_distinct = label[a] != label[b];
+    EXPECT_EQ(dsu.Union(a, b), naive_distinct);
+    if (naive_distinct) {
+      const std::uint32_t from = label[b];
+      const std::uint32_t to = label[a];
+      for (auto& l : label) {
+        if (l == from) l = to;
+      }
+    }
+    const std::uint32_t c = rng() % n;
+    const std::uint32_t d = rng() % n;
+    EXPECT_EQ(dsu.Connected(c, d), label[c] == label[d]);
+  }
+}
+
+// ---------------------------------------------------------------- BucketQueue
+
+TEST(BucketQueueTest, PopsInNondecreasingKeyOrder) {
+  std::vector<std::uint32_t> keys = {5, 1, 3, 3, 0, 7};
+  BucketQueue q(keys);
+  std::vector<std::uint32_t> popped_keys;
+  while (!q.Empty()) {
+    const auto id = q.PopMin();
+    popped_keys.push_back(q.Key(id));
+  }
+  EXPECT_TRUE(std::is_sorted(popped_keys.begin(), popped_keys.end()));
+  EXPECT_EQ(popped_keys.size(), keys.size());
+}
+
+TEST(BucketQueueTest, DecreaseKeyMovesElementEarlier) {
+  std::vector<std::uint32_t> keys = {4, 4, 4, 0};
+  BucketQueue q(keys);
+  EXPECT_EQ(q.PopMin(), 3u);
+  q.DecreaseKeyClamped(1, 0);  // key 4 -> 3
+  const auto next = q.PopMin();
+  EXPECT_EQ(next, 1u);
+  EXPECT_EQ(q.Key(1), 3u);
+}
+
+TEST(BucketQueueTest, ClampPreventsDecreaseBelowFloor) {
+  std::vector<std::uint32_t> keys = {2, 5};
+  BucketQueue q(keys);
+  q.DecreaseKeyClamped(0, 2);  // key == floor: no-op
+  EXPECT_EQ(q.Key(0), 2u);
+  q.DecreaseKeyClamped(1, 2);
+  EXPECT_EQ(q.Key(1), 4u);
+}
+
+// Simulates a peeling workload and checks against a naive priority model.
+TEST(BucketQueueTest, RandomizedPeelingAgainstNaiveModel) {
+  std::mt19937 rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint32_t n = 50;
+    std::vector<std::uint32_t> keys(n);
+    for (auto& k : keys) k = rng() % 12;
+    BucketQueue q(keys);
+    std::vector<std::uint32_t> naive = keys;
+    std::vector<char> removed(n, 0);
+    std::uint32_t level = 0;
+    while (!q.Empty()) {
+      // Naive min among live elements (ties: any); compare key values only.
+      std::uint32_t naive_min = UINT32_MAX;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!removed[i]) naive_min = std::min(naive_min, naive[i]);
+      }
+      const auto id = q.PopMin();
+      level = std::max(level, q.Key(id));
+      EXPECT_EQ(q.Key(id), std::max(naive_min, level));
+      removed[id] = 1;
+      // Random decrements on a few live elements.
+      for (int d = 0; d < 3; ++d) {
+        const std::uint32_t target = rng() % n;
+        if (removed[target]) continue;
+        q.DecreaseKeyClamped(target, level);
+        if (naive[target] > level) --naive[target];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) differences += a() != b();
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const auto x = rng.UniformInRange(5, 9);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 9u);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyRoughlyMatchesP) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512B");
+  EXPECT_EQ(HumanBytes(1536), "1.5KB");
+  EXPECT_EQ(HumanBytes(34ull << 20), "34.0MB");
+  EXPECT_EQ(HumanBytes(3ull << 30), "3.00GB");
+}
+
+TEST(StringsTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(0.0000005), "0.5us");
+  EXPECT_EQ(HumanSeconds(0.0070), "7.0ms");
+  EXPECT_EQ(HumanSeconds(4.9), "4.90s");
+  EXPECT_EQ(HumanSeconds(600), "10.0min");
+  EXPECT_EQ(HumanSeconds(9000), "2.50h");
+}
+
+TEST(StringsTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1624481), "1,624,481");
+}
+
+TEST(StringsTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a\tbb  ccc "),
+            (std::vector<std::string>{"a", "bb", "ccc"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter t({"Name", "Value"});
+  t.Row("x", std::uint64_t{12345});
+  t.Row("longer-name", 1.5);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| Name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), CheckError);
+}
+
+// ---------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog", "--k=4", "--name=gowalla", "--verbose",
+                        "pos1"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("k", 0), 4);
+  EXPECT_EQ(flags.GetString("name", ""), "gowalla");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"pos1"}));
+  EXPECT_EQ(flags.GetInt("missing", 17), 17);
+}
+
+TEST(FlagsTest, RejectsMalformedNumbers) {
+  const char* argv[] = {"prog", "--k=abc"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_THROW(flags.GetInt("k", 0), CheckError);
+}
+
+// ---------------------------------------------------------------- Serialize
+
+TEST(SerializeTest, RoundTripsPodsAndVectors) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsd_serialize_test.bin")
+          .string();
+  {
+    BinaryWriter w(path);
+    w.WriteHeader(0xABCD1234, 3);
+    w.WritePod<std::uint64_t>(77);
+    w.WriteVector(std::vector<std::uint32_t>{1, 2, 3});
+    w.WriteVector(std::vector<std::uint32_t>{});
+    w.Finish();
+  }
+  {
+    BinaryReader r(path);
+    r.ExpectHeader(0xABCD1234, 3);
+    EXPECT_EQ(r.ReadPod<std::uint64_t>(), 77u);
+    EXPECT_EQ(r.ReadVector<std::uint32_t>(),
+              (std::vector<std::uint32_t>{1, 2, 3}));
+    EXPECT_TRUE(r.ReadVector<std::uint32_t>().empty());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, RejectsBadMagicAndTruncation) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tsd_serialize_bad.bin")
+          .string();
+  {
+    BinaryWriter w(path);
+    w.WriteHeader(0x11111111, 1);
+    w.Finish();
+  }
+  {
+    BinaryReader r(path);
+    EXPECT_THROW(r.ExpectHeader(0x22222222, 1), CheckError);
+  }
+  {
+    BinaryReader r(path);
+    r.ExpectHeader(0x11111111, 1);
+    EXPECT_THROW(r.ReadPod<std::uint64_t>(), CheckError);  // truncated
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tsd

@@ -1,0 +1,198 @@
+// Tests for the synthetic graph generators and the named dataset registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/disjoint_set.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "truss/triangle.h"
+
+namespace tsd {
+namespace {
+
+bool IsConnected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  DisjointSet dsu(g.num_vertices());
+  for (const Edge& e : g.edges()) dsu.Union(e.u, e.v);
+  return dsu.SetSize(0) == g.num_vertices();
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCountAndNoDuplicates) {
+  Graph g = ErdosRenyi(50, 200, 3);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 200u);  // builder dedup would shrink duplicates
+  for (const Edge& e : g.edges()) EXPECT_NE(e.u, e.v);
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  Graph a = ErdosRenyi(40, 100, 9);
+  Graph b = ErdosRenyi(40, 100, 9);
+  EXPECT_EQ(a.edges(), b.edges());
+  Graph c = ErdosRenyi(40, 100, 10);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleEdgeCount) {
+  EXPECT_THROW(ErdosRenyi(5, 11, 1), CheckError);
+}
+
+TEST(BarabasiAlbertTest, SizeAndConnectivity) {
+  Graph g = BarabasiAlbert(500, 3, 7);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  // Seed clique C(4,2)=6 edges + 496*3 attachments (some may collide but
+  // chosen-set logic guarantees distinct targets per vertex).
+  EXPECT_EQ(g.num_edges(), 6u + 496u * 3u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(BarabasiAlbertTest, ProducesSkewedDegrees) {
+  Graph g = BarabasiAlbert(3000, 3, 11);
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(g.max_degree(), 8 * avg);  // heavy tail
+}
+
+TEST(HolmeKimTest, TriadStepRaisesClustering) {
+  // Same n/m; higher triad probability must produce many more triangles.
+  Graph low = HolmeKim(2000, 4, 0.0, 5);
+  Graph high = HolmeKim(2000, 4, 0.9, 5);
+  EXPECT_GT(CountTriangles(high), 2 * CountTriangles(low));
+}
+
+TEST(HolmeKimTest, ConnectedAndDeterministic) {
+  Graph g = HolmeKim(800, 4, 0.5, 6);
+  EXPECT_TRUE(IsConnected(g));
+  Graph g2 = HolmeKim(800, 4, 0.5, 6);
+  EXPECT_EQ(g.edges(), g2.edges());
+}
+
+TEST(RMatTest, RespectsScaleBound) {
+  Graph g = RMat(10, 8, 0.45, 0.2, 0.2, 3);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_LE(g.num_edges(), 8u * 1024u);
+  EXPECT_GT(g.num_edges(), 1024u);  // dedup removes some, not most
+}
+
+TEST(RMatTest, RejectsBadProbabilities) {
+  EXPECT_THROW(RMat(8, 4, 0.6, 0.3, 0.3, 1), CheckError);
+}
+
+TEST(CollaborationTest, PlantsRequestedStructure) {
+  CollaborationOptions options;
+  options.num_authors = 2000;
+  options.num_groups = 150;
+  options.num_hubs = 5;
+  options.groups_per_hub = 6;
+  const CollaborationGraph collab = Collaboration(options, 13);
+  EXPECT_EQ(collab.graph.num_vertices(), 2000u);
+  EXPECT_EQ(collab.hubs.size(), 5u);
+  EXPECT_EQ(collab.groups.size(), 150u);
+  for (const auto& group : collab.groups) {
+    EXPECT_GE(group.size(), options.min_group_size);
+    EXPECT_LE(group.size(), options.max_group_size);
+    for (VertexId member : group) {
+      EXPECT_GE(member, options.num_hubs);  // hubs have dedicated ids
+    }
+  }
+  // Hubs co-author with every member of each joined group: their degree is
+  // at least groups_per_hub * min_group_size (minus overlaps).
+  for (VertexId hub : collab.hubs) {
+    EXPECT_GE(collab.graph.degree(hub), 3 * options.min_group_size);
+  }
+}
+
+TEST(CollaborationTest, InterGroupTiesConnectHubEgoComponents) {
+  // With inter-group ties the hub's ego-network should form FEWER connected
+  // components than the number of groups it joined (the Exp-10 setup where
+  // the component model under-decomposes).
+  CollaborationOptions options;
+  options.num_authors = 3000;
+  options.num_groups = 200;
+  options.num_hubs = 2;
+  options.groups_per_hub = 6;
+  options.min_group_size = 6;
+  options.max_group_size = 10;
+  options.inter_group_ties_per_hub = 10;
+  options.bridge_edges_per_author = 0;
+  const CollaborationGraph collab = Collaboration(options, 17);
+
+  const VertexId hub = collab.hubs[0];
+  // Count components of the hub's ego-network.
+  const auto nbrs = collab.graph.neighbors(hub);
+  std::set<VertexId> members(nbrs.begin(), nbrs.end());
+  DisjointSet dsu(collab.graph.num_vertices());
+  for (const Edge& e : collab.graph.edges()) {
+    if (members.count(e.u) && members.count(e.v)) dsu.Union(e.u, e.v);
+  }
+  std::set<std::uint32_t> roots;
+  for (VertexId m : members) roots.insert(dsu.Find(m));
+  EXPECT_LT(roots.size(), options.groups_per_hub);
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+TEST(PaperFigure1Test, ExactShape) {
+  Graph g = PaperFigure1Graph();
+  EXPECT_EQ(g.num_vertices(), 17u);
+  // 14 (v-spokes) + 6 + 6 + 2 + 12 + 4 (s-edges) = 44.
+  EXPECT_EQ(g.num_edges(), 44u);
+  EXPECT_EQ(g.degree(0), 14u);  // v
+  // s1, s2 are not neighbors of v.
+  EXPECT_FALSE(g.HasEdge(0, 15));
+  EXPECT_FALSE(g.HasEdge(0, 16));
+  // Octahedron: antipodal pairs are non-adjacent.
+  EXPECT_FALSE(g.HasEdge(9, 12));
+  EXPECT_FALSE(g.HasEdge(10, 13));
+  EXPECT_FALSE(g.HasEdge(11, 14));
+  EXPECT_TRUE(g.HasEdge(9, 10));
+  // Bridges between the x and y cliques.
+  EXPECT_TRUE(g.HasEdge(2, 5));
+  EXPECT_TRUE(g.HasEdge(4, 5));
+  EXPECT_STREQ(PaperFigure1VertexName(0), "v");
+  EXPECT_STREQ(PaperFigure1VertexName(16), "s2");
+}
+
+// ---------------------------------------------------------------- Datasets
+
+TEST(DatasetsTest, RegistryHasAllEightNetworks) {
+  EXPECT_EQ(DatasetNames().size(), 8u);
+  EXPECT_EQ(DatasetNames().front(), "wiki-vote");
+  EXPECT_EQ(DatasetNames().back(), "orkut");
+  EXPECT_EQ(PlotDatasetNames(),
+            (std::vector<std::string>{"gowalla", "livejournal", "orkut"}));
+}
+
+TEST(DatasetsTest, SpecScalesMonotonically) {
+  for (const auto& name : DatasetNames()) {
+    const DatasetSpec tiny = GetDatasetSpec(name, "tiny");
+    const DatasetSpec small = GetDatasetSpec(name, "small");
+    const DatasetSpec large = GetDatasetSpec(name, "large");
+    EXPECT_LE(tiny.num_vertices, small.num_vertices) << name;
+    EXPECT_LE(small.num_vertices, large.num_vertices) << name;
+  }
+}
+
+TEST(DatasetsTest, UnknownNamesAndScalesThrow) {
+  EXPECT_THROW(GetDatasetSpec("not-a-dataset", "small"), CheckError);
+  EXPECT_THROW(GetDatasetSpec("wiki-vote", "huge"), CheckError);
+}
+
+TEST(DatasetsTest, GenerationIsDeterministic) {
+  Graph a = MakeDataset("wiki-vote", "tiny");
+  Graph b = MakeDataset("wiki-vote", "tiny");
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(DatasetsTest, TinyDatasetsHaveTriangles) {
+  // The truss experiments are vacuous without triangle density.
+  for (const auto& name : DatasetNames()) {
+    const Graph g = MakeDataset(name, "tiny");
+    EXPECT_GT(CountTriangles(g), g.num_vertices() / 4) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tsd

@@ -1,0 +1,231 @@
+// Tests for the independent-cascade simulator, RIS influence maximization,
+// and the contagion experiment harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "influence/contagion_experiments.h"
+#include "influence/independent_cascade.h"
+#include "influence/influence_max.h"
+
+namespace tsd {
+namespace {
+
+Graph PathGraph(VertexId n) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::FromEdges(std::move(edges), n);
+}
+
+TEST(IndependentCascadeTest, ZeroProbabilityActivatesOnlySeeds) {
+  Graph g = HolmeKim(100, 4, 0.5, 1);
+  IndependentCascade ic(g, 0.0);
+  Rng rng(1);
+  const std::vector<VertexId> seeds = {3, 7};
+  const CascadeResult result = ic.Run(seeds, rng);
+  EXPECT_EQ(result.num_activated, 2u);
+  EXPECT_EQ(result.round[3], 0);
+  EXPECT_EQ(result.round[7], 0);
+  EXPECT_EQ(result.round[0], -1);
+}
+
+TEST(IndependentCascadeTest, ProbabilityOneActivatesComponentAtBfsDistance) {
+  Graph g = PathGraph(6);
+  IndependentCascade ic(g, 1.0);
+  Rng rng(2);
+  const std::vector<VertexId> seeds = {0};
+  const CascadeResult result = ic.Run(seeds, rng);
+  EXPECT_EQ(result.num_activated, 6u);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(result.round[v], static_cast<std::int32_t>(v));
+  }
+}
+
+TEST(IndependentCascadeTest, ProbabilityOneStopsAtComponentBoundary) {
+  Graph g = Graph::FromEdges({{0, 1}, {1, 2}, {3, 4}}, 5);
+  IndependentCascade ic(g, 1.0);
+  Rng rng(3);
+  const std::vector<VertexId> seeds = {0};
+  const CascadeResult result = ic.Run(seeds, rng);
+  EXPECT_EQ(result.num_activated, 3u);
+  EXPECT_EQ(result.round[3], -1);
+  EXPECT_EQ(result.round[4], -1);
+}
+
+TEST(IndependentCascadeTest, DuplicateSeedsCountedOnce) {
+  Graph g = PathGraph(4);
+  IndependentCascade ic(g, 0.0);
+  Rng rng(4);
+  const std::vector<VertexId> seeds = {1, 1, 1};
+  EXPECT_EQ(ic.Run(seeds, rng).num_activated, 1u);
+}
+
+TEST(IndependentCascadeTest, SingleEdgeActivationProbabilityMatchesP) {
+  // P(activate neighbor) = p on a single edge.
+  Graph g = Graph::FromEdges({{0, 1}});
+  IndependentCascade ic(g, 0.3);
+  const std::vector<VertexId> seeds = {0};
+  const auto prob = ic.EstimateActivationProbability(seeds, 20000, 5);
+  EXPECT_NEAR(prob[1], 0.3, 0.02);
+  EXPECT_DOUBLE_EQ(prob[0], 1.0);
+}
+
+TEST(IndependentCascadeTest, TwoHopProbabilityIsPSquared) {
+  Graph g = PathGraph(3);
+  IndependentCascade ic(g, 0.4);
+  const std::vector<VertexId> seeds = {0};
+  const auto prob = ic.EstimateActivationProbability(seeds, 40000, 6);
+  EXPECT_NEAR(prob[2], 0.16, 0.02);
+}
+
+TEST(IndependentCascadeTest, EstimateSpreadIsDeterministicPerSeed) {
+  Graph g = HolmeKim(200, 4, 0.5, 7);
+  IndependentCascade ic(g, 0.05);
+  const std::vector<VertexId> seeds = {0, 5, 9};
+  EXPECT_DOUBLE_EQ(ic.EstimateSpread(seeds, 200, 11),
+                   ic.EstimateSpread(seeds, 200, 11));
+}
+
+// ---------------------------------------------------------------- RIS
+
+TEST(InfluenceMaxTest, StarCenterIsFirstSeed) {
+  // High-probability star: the center covers nearly every RR set.
+  GraphBuilder b;
+  for (VertexId leaf = 1; leaf <= 20; ++leaf) b.AddEdge(0, leaf);
+  Graph g = b.Build();
+  RisOptions options;
+  options.probability = 0.9;
+  options.num_samples = 4000;
+  const auto seeds = SelectSeedsRis(g, 1, options);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(InfluenceMaxTest, ReturnsExactlyKDistinctSeeds) {
+  Graph g = HolmeKim(300, 4, 0.5, 9);
+  RisOptions options;
+  options.num_samples = 2000;
+  options.probability = 0.02;
+  auto seeds = SelectSeedsRis(g, 50, options);
+  EXPECT_EQ(seeds.size(), 50u);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(InfluenceMaxTest, RisBeatsRandomSeedsOnSpread) {
+  Graph g = HolmeKim(1000, 5, 0.5, 10);
+  IndependentCascade ic(g, 0.05);
+  RisOptions options;
+  options.num_samples = 5000;
+  options.probability = 0.05;
+  const auto ris = SelectSeedsRis(g, 10, options);
+  // Arbitrary low-degree-biased picks: last 10 vertex ids.
+  std::vector<VertexId> naive;
+  for (VertexId v = g.num_vertices() - 10; v < g.num_vertices(); ++v) {
+    naive.push_back(v);
+  }
+  EXPECT_GT(ic.EstimateSpread(ris, 300, 1), ic.EstimateSpread(naive, 300, 1));
+}
+
+TEST(InfluenceMaxTest, DegreeHeuristicPicksHighestDegrees) {
+  GraphBuilder b;
+  for (VertexId leaf = 1; leaf <= 10; ++leaf) b.AddEdge(0, leaf);
+  b.AddEdge(1, 2).AddEdge(1, 3).AddEdge(1, 4);
+  Graph g = b.Build();
+  const auto seeds = SelectSeedsByDegree(g, 2);
+  EXPECT_EQ(seeds, (std::vector<VertexId>{0, 1}));
+}
+
+// ----------------------------------------------------- Experiment harness
+
+TEST(ContagionExperimentsTest, GroupsPartitionPositiveScoresAscending) {
+  Graph g = HolmeKim(200, 4, 0.5, 12);
+  std::vector<std::uint32_t> scores(g.num_vertices(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) scores[v] = v % 5;
+  IndependentCascade ic(g, 0.02);
+  const std::vector<VertexId> seeds = {0, 1, 2};
+  const auto groups =
+      ActivationRateByScoreGroup(ic, scores, 4, seeds, 50, 13);
+  ASSERT_EQ(groups.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& group : groups) {
+    EXPECT_LE(group.score_low, group.score_high);
+    EXPECT_GE(group.score_low, 1u);
+    total += group.num_vertices;
+  }
+  std::uint64_t positive = 0;
+  for (auto s : scores) positive += s > 0;
+  EXPECT_EQ(total, positive);
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    EXPECT_GE(groups[i].score_low, groups[i - 1].score_low);
+  }
+}
+
+TEST(ContagionExperimentsTest, ExpectedActivatedBoundedByTargets) {
+  Graph g = HolmeKim(300, 4, 0.5, 14);
+  IndependentCascade ic(g, 0.05);
+  const auto seeds = SelectSeedsByDegree(g, 10);
+  std::vector<VertexId> targets;
+  for (VertexId v = 100; v < 150; ++v) targets.push_back(v);
+  const double expected = ExpectedActivatedTargets(ic, seeds, targets, 100, 15);
+  EXPECT_GE(expected, 0.0);
+  EXPECT_LE(expected, 50.0);
+}
+
+TEST(ContagionExperimentsTest, SeedTargetsActivateImmediately) {
+  Graph g = PathGraph(10);
+  IndependentCascade ic(g, 0.0);
+  const std::vector<VertexId> seeds = {2, 4};
+  const std::vector<VertexId> targets = {2, 4, 6};
+  EXPECT_DOUBLE_EQ(ExpectedActivatedTargets(ic, seeds, targets, 10, 16), 2.0);
+}
+
+TEST(ContagionExperimentsTest, LatencyCurveIsNondecreasingAtFullSupport) {
+  // With p = 1 every target activates in every run, so all ranks average
+  // over the same runs and the curve must be monotone. (At small p the tail
+  // ranks are observed only in unusually fast cascades, so global
+  // monotonicity is not a property of the estimator.)
+  Graph g = HolmeKim(400, 5, 0.5, 17);
+  IndependentCascade ic(g, 1.0);
+  const auto seeds = SelectSeedsByDegree(g, 5);
+  std::vector<VertexId> targets;
+  for (VertexId v = 0; v < 60; ++v) targets.push_back(v * 6);
+  const auto curve = ActivationLatencyCurve(ic, seeds, targets, 50, 18);
+  ASSERT_EQ(curve.size(), targets.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1], curve[i] + 1e-9);
+  }
+}
+
+TEST(ContagionExperimentsTest, LatencyCurveDeterministicPathGraph) {
+  Graph g = PathGraph(5);
+  IndependentCascade ic(g, 1.0);
+  const std::vector<VertexId> seeds = {0};
+  const std::vector<VertexId> targets = {1, 2, 3, 4};
+  const auto curve = ActivationLatencyCurve(ic, seeds, targets, 10, 19);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0], 1.0);
+  EXPECT_DOUBLE_EQ(curve[3], 4.0);
+}
+
+TEST(ContagionExperimentsTest, CenterActivationProbabilityInUnitInterval) {
+  Graph g = PaperFigure1Graph();
+  const double p = CenterActivationProbability(g, 0, 5, 0.05, 2000, 20);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  // With 5 active neighbors at p=0.05, the center activates with
+  // probability >= 1-(1-p)^5 (its direct-seed exposure alone).
+  EXPECT_GE(p, 1 - std::pow(1 - 0.05, 5) - 0.03);
+}
+
+TEST(ContagionExperimentsTest, CenterActivationIsCertainAtP1) {
+  Graph g = PaperFigure1Graph();
+  EXPECT_DOUBLE_EQ(CenterActivationProbability(g, 0, 3, 1.0, 50, 21), 1.0);
+}
+
+}  // namespace
+}  // namespace tsd

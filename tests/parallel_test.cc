@@ -1,0 +1,85 @@
+// Tests for the chunked parallel-for helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace tsd {
+namespace {
+
+TEST(ParallelForChunksTest, CoversRangeExactlyOnce) {
+  for (std::uint32_t threads : {1u, 2u, 8u}) {
+    std::vector<std::atomic<int>> touched(1000);
+    ParallelForChunks(1000, 32, threads,
+                      [&](std::uint32_t, std::uint64_t begin,
+                          std::uint64_t end) {
+                        for (std::uint64_t i = begin; i < end; ++i) {
+                          touched[i].fetch_add(1);
+                        }
+                      });
+    for (const auto& count : touched) {
+      EXPECT_EQ(count.load(), 1);
+    }
+  }
+}
+
+TEST(ParallelForChunksTest, ChunksAreContiguousAndOrdered) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges(8);
+  ParallelForChunks(100, 8, 1,
+                    [&](std::uint32_t c, std::uint64_t begin,
+                        std::uint64_t end) { ranges[c] = {begin, end}; });
+  for (std::size_t c = 0; c + 1 < ranges.size(); ++c) {
+    if (ranges[c + 1].second == 0) break;  // empty tail chunk
+    EXPECT_EQ(ranges[c].second, ranges[c + 1].first);
+  }
+  EXPECT_EQ(ranges[0].first, 0u);
+}
+
+TEST(ParallelForChunksTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelForChunks(0, 4, 4,
+                    [&](std::uint32_t, std::uint64_t, std::uint64_t) {
+                      called = true;
+                    });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForChunksTest, MoreChunksThanElements) {
+  std::atomic<std::uint64_t> total{0};
+  ParallelForChunks(3, 16, 4,
+                    [&](std::uint32_t, std::uint64_t begin,
+                        std::uint64_t end) { total += end - begin; });
+  EXPECT_EQ(total.load(), 3u);
+}
+
+TEST(ParallelForChunksTest, WorkerExceptionPropagates) {
+  EXPECT_THROW(
+      ParallelForChunks(100, 8, 4,
+                        [&](std::uint32_t c, std::uint64_t, std::uint64_t) {
+                          if (c == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ParallelForChunksTest, SequentialAndParallelSumsAgree) {
+  auto run = [](std::uint32_t threads) {
+    std::atomic<std::uint64_t> sum{0};
+    ParallelForChunks(10000, 64, threads,
+                      [&](std::uint32_t, std::uint64_t begin,
+                          std::uint64_t end) {
+                        std::uint64_t local = 0;
+                        for (std::uint64_t i = begin; i < end; ++i) local += i;
+                        sum += local;
+                      });
+    return sum.load();
+  };
+  EXPECT_EQ(run(1), run(6));
+  EXPECT_EQ(run(1), 10000ull * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace tsd

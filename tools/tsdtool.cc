@@ -1,0 +1,236 @@
+// tsdtool — command-line interface to the library.
+//
+//   tsdtool stats  <edge-list>                     graph + trussness stats
+//   tsdtool topr   <edge-list> [--k=3] [--r=10] [--method=gct|tsd|online|
+//                                       bound|comp|core]
+//   tsdtool score  <edge-list> --v=<id> [--k=3]    one vertex + contexts
+//   tsdtool build  <edge-list> --out=<index> [--index=gct|tsd]
+//   tsdtool query  --index-file=<index> [--k=3] [--r=10] [--index=gct|tsd]
+//   tsdtool gen    --out=<file> [--model=hk|ba|er|rmat] [--n=10000] ...
+//
+// Edge lists are SNAP-style text ("u v" per line, '#' comments).
+#include <iostream>
+#include <memory>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/baselines.h"
+#include "core/bound_search.h"
+#include "core/gct_index.h"
+#include "core/online_search.h"
+#include "core/tsd_index.h"
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+#include "truss/triangle.h"
+#include "truss/truss_decomposition.h"
+
+namespace {
+
+using namespace tsd;
+
+int Usage() {
+  std::cerr <<
+      "usage: tsdtool <command> [args]\n"
+      "  stats <edge-list>                         graph + trussness stats\n"
+      "  topr  <edge-list> [--k=3] [--r=10] [--method=gct]\n"
+      "                                            top-r diversity search\n"
+      "  score <edge-list> --v=<id> [--k=3]        score + contexts of one "
+      "vertex\n"
+      "  build <edge-list> --out=<file> [--index=gct]\n"
+      "                                            build + save an index\n"
+      "  query --index-file=<file> [--index=gct] [--k=3] [--r=10]\n"
+      "                                            query a saved index\n"
+      "  gen   --out=<file> [--model=hk] [--n=10000] [--m-per=5] [--p=0.5] "
+      "[--seed=1]\n"
+      "                                            generate a synthetic "
+      "graph\n"
+      "methods: gct tsd online bound comp core\n";
+  return 2;
+}
+
+void PrintTopR(const TopRResult& result, bool contexts) {
+  TablePrinter table({"rank", "vertex", "score"});
+  for (std::size_t i = 0; i < result.entries.size(); ++i) {
+    table.Row(std::uint64_t{i + 1}, std::uint64_t{result.entries[i].vertex},
+              std::uint64_t{result.entries[i].score});
+  }
+  table.Print(std::cout);
+  if (contexts) {
+    for (const auto& entry : result.entries) {
+      std::cout << "vertex " << entry.vertex << " contexts:";
+      for (const auto& context : entry.contexts) {
+        std::cout << " {";
+        for (std::size_t i = 0; i < context.size(); ++i) {
+          std::cout << (i ? "," : "") << context[i];
+        }
+        std::cout << "}";
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "search space: " << result.stats.vertices_scored
+            << " vertices, time: " << HumanSeconds(result.stats.total_seconds)
+            << "\n";
+}
+
+int RunStats(const Graph& g) {
+  TrussDecomposition td(g);
+  TablePrinter table({"|V|", "|E|", "d_max", "T", "tau*_G"});
+  table.Row(WithThousands(g.num_vertices()), WithThousands(g.num_edges()),
+            std::uint64_t{g.max_degree()}, WithThousands(CountTriangles(g)),
+            std::uint64_t{td.max_trussness()});
+  table.Print(std::cout);
+
+  std::cout << "\nedge trussness histogram:\n";
+  TablePrinter hist({"trussness", "edges"});
+  const auto histogram = td.TrussnessHistogram();
+  for (std::uint32_t t = 2; t < histogram.size(); ++t) {
+    if (histogram[t] > 0) hist.Row(std::uint64_t{t}, histogram[t]);
+  }
+  hist.Print(std::cout);
+  return 0;
+}
+
+int RunTopR(const Graph& g, const Flags& flags) {
+  const auto k = static_cast<std::uint32_t>(flags.GetInt("k", 3));
+  const auto r = static_cast<std::uint32_t>(flags.GetInt("r", 10));
+  const std::string method = flags.GetString("method", "gct");
+
+  std::unique_ptr<DiversitySearcher> searcher;
+  std::unique_ptr<TsdIndex> tsd;
+  std::unique_ptr<GctIndex> gct;
+  if (method == "online") {
+    searcher = std::make_unique<OnlineSearcher>(g);
+  } else if (method == "bound") {
+    searcher = std::make_unique<BoundSearcher>(g);
+  } else if (method == "tsd") {
+    tsd = std::make_unique<TsdIndex>(TsdIndex::Build(g));
+  } else if (method == "gct") {
+    gct = std::make_unique<GctIndex>(GctIndex::Build(g));
+  } else if (method == "comp") {
+    searcher = std::make_unique<CompDivSearcher>(g);
+  } else if (method == "core") {
+    searcher = std::make_unique<CoreDivSearcher>(g);
+  } else {
+    return Usage();
+  }
+  DiversitySearcher* active = searcher ? searcher.get()
+                              : tsd    ? static_cast<DiversitySearcher*>(tsd.get())
+                                       : static_cast<DiversitySearcher*>(gct.get());
+  std::cout << "method: " << active->name() << " k=" << k << " r=" << r
+            << "\n";
+  PrintTopR(active->TopR(std::min<std::uint32_t>(r, g.num_vertices()), k),
+            flags.GetBool("contexts", false));
+  return 0;
+}
+
+int RunScore(const Graph& g, const Flags& flags) {
+  TSD_CHECK_MSG(flags.Has("v"), "score requires --v=<vertex>");
+  const auto v = static_cast<VertexId>(flags.GetInt("v", 0));
+  const auto k = static_cast<std::uint32_t>(flags.GetInt("k", 3));
+  TSD_CHECK_MSG(v < g.num_vertices(), "vertex out of range");
+  OnlineSearcher online(g);
+  const ScoreResult result = online.ScoreVertex(v, k, /*want_contexts=*/true);
+  std::cout << "score(" << v << ") at k=" << k << ": " << result.score
+            << "\n";
+  for (const auto& context : result.contexts) {
+    std::cout << "  context (" << context.size() << " members):";
+    for (VertexId member : context) std::cout << " " << member;
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int RunBuild(const Graph& g, const Flags& flags) {
+  TSD_CHECK_MSG(flags.Has("out"), "build requires --out=<file>");
+  const std::string out = flags.GetString("out", "");
+  const std::string kind = flags.GetString("index", "gct");
+  if (kind == "tsd") {
+    TsdIndex index = TsdIndex::Build(g);
+    index.Save(out);
+    std::cout << "TSD index: " << HumanBytes(index.SizeBytes()) << " in "
+              << HumanSeconds(index.build_stats().total_seconds) << " -> "
+              << out << "\n";
+  } else if (kind == "gct") {
+    GctIndex index = GctIndex::Build(g);
+    index.Save(out);
+    std::cout << "GCT index: " << HumanBytes(index.SizeBytes()) << " in "
+              << HumanSeconds(index.build_stats().total_seconds) << " -> "
+              << out << "\n";
+  } else {
+    return Usage();
+  }
+  return 0;
+}
+
+int RunQuery(const Flags& flags) {
+  TSD_CHECK_MSG(flags.Has("index-file"), "query requires --index-file=<file>");
+  const std::string path = flags.GetString("index-file", "");
+  const std::string kind = flags.GetString("index", "gct");
+  const auto k = static_cast<std::uint32_t>(flags.GetInt("k", 3));
+  const auto r = static_cast<std::uint32_t>(flags.GetInt("r", 10));
+  if (kind == "tsd") {
+    TsdIndex index = TsdIndex::Load(path);
+    PrintTopR(index.TopR(std::min<std::uint32_t>(r, index.num_vertices()), k),
+              flags.GetBool("contexts", false));
+  } else {
+    GctIndex index = GctIndex::Load(path);
+    PrintTopR(index.TopR(std::min<std::uint32_t>(r, index.num_vertices()), k),
+              flags.GetBool("contexts", false));
+  }
+  return 0;
+}
+
+int RunGen(const Flags& flags) {
+  TSD_CHECK_MSG(flags.Has("out"), "gen requires --out=<file>");
+  const std::string model = flags.GetString("model", "hk");
+  const auto n = static_cast<VertexId>(flags.GetInt("n", 10000));
+  const auto m_per = static_cast<std::uint32_t>(flags.GetInt("m-per", 5));
+  const double p = flags.GetDouble("p", 0.5);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  Graph g;
+  if (model == "hk") {
+    g = HolmeKim(n, m_per, p, seed);
+  } else if (model == "ba") {
+    g = BarabasiAlbert(n, m_per, seed);
+  } else if (model == "er") {
+    g = ErdosRenyi(n, n * m_per, seed);
+  } else if (model == "rmat") {
+    std::uint32_t scale = 0;
+    while ((VertexId{1} << scale) < n) ++scale;
+    g = RMat(scale, m_per, 0.45, 0.2, 0.2, seed);
+  } else {
+    return Usage();
+  }
+  SaveEdgeListText(g, flags.GetString("out", ""));
+  std::cout << "wrote " << g.num_vertices() << " vertices, " << g.num_edges()
+            << " edges to " << flags.GetString("out", "") << "\n";
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string command = flags.positional()[0];
+
+  try {
+    if (command == "query") return RunQuery(flags);
+    if (command == "gen") return RunGen(flags);
+    if (flags.positional().size() < 2) return Usage();
+    const Graph g = LoadEdgeListText(flags.positional()[1]);
+    if (command == "stats") return RunStats(g);
+    if (command == "topr") return RunTopR(g, flags);
+    if (command == "score") return RunScore(g, flags);
+    if (command == "build") return RunBuild(g, flags);
+  } catch (const CheckError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
