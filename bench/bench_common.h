@@ -6,6 +6,7 @@
 // figure series rendered as an aligned text table.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -15,6 +16,7 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "core/query_pipeline.h"  // QueryOptionsFromFlags: --threads/--chunks
 #include "graph/datasets.h"
 #include "graph/graph.h"
 #include "truss/triangle.h"

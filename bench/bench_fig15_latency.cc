@@ -33,10 +33,12 @@ int Run(int argc, char** argv) {
   // The paper plots p=0.01 cascades; a slightly higher default keeps the
   // small-scale curves populated. Override with --p=0.01 at --scale=large.
   const double p = flags.GetDouble("p", 0.02);
+  const QueryOptions query_options = QueryOptionsFromFlags(flags);
   bench::PrintHeader("Figure 15",
                      "activation latency of each model's top-r picks", scale);
   std::cout << "k=" << k << " r=" << r << " seeds=" << num_seeds
-            << " p=" << p << " runs=" << runs << "\n";
+            << " p=" << p << " runs=" << runs
+            << " threads=" << query_options.num_threads << "\n";
 
   for (const auto& name : PlotDatasetNames()) {
     const Graph g = MakeDataset(name, scale);
@@ -54,13 +56,46 @@ int Run(int argc, char** argv) {
     GctIndex gct = GctIndex::Build(g);
     CompDivSearcher comp(g);
     CoreDivSearcher core(g);
+    gct.set_query_options(query_options);
+    comp.set_query_options(query_options);
+    core.set_query_options(query_options);
 
-    const auto truss_curve = ActivationLatencyCurve(
-        cascade, seeds, Targets(gct.TopR(effective_r, k)), runs, 7);
-    const auto core_curve = ActivationLatencyCurve(
-        cascade, seeds, Targets(core.TopR(effective_r, k)), runs, 7);
-    const auto comp_curve = ActivationLatencyCurve(
-        cascade, seeds, Targets(comp.TopR(effective_r, k)), runs, 7);
+    // Extra 1-thread timing pass for the query-speedup report (skipped in
+    // the default sequential run).
+    double sequential_seconds = 0;
+    if (query_options.num_threads > 1) {
+      WallTimer sequential_timer;
+      for (DiversitySearcher* searcher :
+           std::vector<DiversitySearcher*>{&gct, &comp, &core}) {
+        searcher->set_query_options(QueryOptions{});
+        searcher->TopR(effective_r, k);
+        searcher->set_query_options(query_options);
+      }
+      sequential_seconds = sequential_timer.Seconds();
+    }
+
+    // The timed queries at the requested thread count produce the picks
+    // the cascades below consume (rankings are thread-count-invariant).
+    WallTimer query_timer;
+    const TopRResult truss_top = gct.TopR(effective_r, k);
+    const TopRResult core_top = core.TopR(effective_r, k);
+    const TopRResult comp_top = comp.TopR(effective_r, k);
+    const double query_seconds = query_timer.Seconds();
+    if (query_options.num_threads > 1) {
+      std::cout << "top-r query speedup at " << query_options.num_threads
+                << " threads: "
+                << FormatDouble(
+                       sequential_seconds / std::max(query_seconds, 1e-9), 2)
+                << "x (" << HumanSeconds(sequential_seconds) << " -> "
+                << HumanSeconds(query_seconds) << ")\n";
+    }
+
+    const auto truss_curve =
+        ActivationLatencyCurve(cascade, seeds, Targets(truss_top), runs, 7);
+    const auto core_curve =
+        ActivationLatencyCurve(cascade, seeds, Targets(core_top), runs, 7);
+    const auto comp_curve =
+        ActivationLatencyCurve(cascade, seeds, Targets(comp_top), runs, 7);
 
     auto at = [](const std::vector<double>& curve, std::size_t x) {
       return x < curve.size() ? FormatDouble(curve[x], 2) : std::string("-");

@@ -21,8 +21,9 @@ int Run(int argc, char** argv) {
   const std::string scale = flags.BenchScale();
   const auto r = static_cast<std::uint32_t>(flags.GetInt("r", 100));
   const bool skip_baseline = flags.GetBool("skip-baseline", false);
+  const QueryOptions query_options = QueryOptionsFromFlags(flags);
   bench::PrintHeader("Figure 8", "query time vs k for all methods", scale);
-  std::cout << "r=" << r << "\n";
+  std::cout << "r=" << r << " threads=" << query_options.num_threads << "\n";
 
   for (const auto& name : PlotDatasetNames()) {
     const Graph g = MakeDataset(name, scale);
@@ -37,6 +38,11 @@ int Run(int argc, char** argv) {
     GctIndex gct = GctIndex::Build(g);
     CompDivSearcher comp(g);
     CoreDivSearcher core(g);
+    const std::vector<DiversitySearcher*> searchers = {&baseline, &bound, &tsd,
+                                                       &gct,      &comp,  &core};
+    for (DiversitySearcher* searcher : searchers) {
+      searcher->set_query_options(query_options);
+    }
 
     TablePrinter table({"k", "baseline", "bound", "TSD", "GCT", "Comp-Div",
                         "Core-Div"});

@@ -40,9 +40,9 @@ class BucketQueue {
     for (std::size_t b = 1; b < bucket_.size(); ++b) bucket_[b] += bucket_[b - 1];
     order_.resize(n);
     pos_.resize(n);
-    std::vector<std::uint32_t> cursor(bucket_.begin(), bucket_.end() - 1);
+    cursor_.assign(bucket_.begin(), bucket_.end() - 1);
     for (std::uint32_t id = 0; id < n; ++id) {
-      const std::uint32_t p = cursor[keys[id]]++;
+      const std::uint32_t p = cursor_[keys[id]]++;
       order_[p] = id;
       pos_[id] = p;
     }
@@ -93,6 +93,7 @@ class BucketQueue {
   std::vector<std::uint32_t> order_;
   std::vector<std::uint32_t> pos_;
   std::vector<std::uint32_t> bucket_;
+  std::vector<std::uint32_t> cursor_;  // Init scratch, reused across Init calls
   std::vector<bool> removed_;
   std::uint32_t max_key_ = 0;
   std::uint32_t head_ = 0;

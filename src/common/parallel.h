@@ -1,11 +1,12 @@
-// Minimal chunked parallel-for used by the parallel index builders.
+// Minimal chunked parallel-for used by the parallel index builders and the
+// QueryPipeline.
 //
-// Per-vertex index construction is embarrassingly parallel (every
-// ego-network is independent), so the builders split the vertex range into
-// ordered chunks, process chunks from a shared atomic cursor (cheap dynamic
-// load balancing — hub vertices cluster at low ids in preferential-
-// attachment graphs), and merge per-chunk results in chunk order to keep
-// the output bit-identical to the sequential build.
+// Per-vertex ego-truss work is embarrassingly parallel (every ego-network
+// is independent), so callers split the vertex range into ordered chunks,
+// process chunks from a shared atomic cursor (cheap dynamic load balancing
+// — hub vertices cluster at low ids in preferential-attachment graphs), and
+// merge per-chunk or per-worker results in deterministic order to keep the
+// output bit-identical to the sequential run.
 #pragma once
 
 #include <algorithm>
@@ -20,13 +21,16 @@
 
 namespace tsd {
 
-/// Invokes fn(chunk_index, begin, end) for `num_chunks` contiguous ranges
-/// covering [0, total), using `num_threads` workers. fn must be safe to
-/// call concurrently for distinct chunks. Exceptions from workers are
-/// rethrown on the calling thread (first one wins).
+/// Invokes fn(worker_index, chunk_index, begin, end) for `num_chunks`
+/// contiguous ranges covering [0, total), using `num_threads` workers.
+/// worker_index identifies the executing worker in [0, num_threads), which
+/// lets callers keep one reusable workspace per worker instead of one per
+/// chunk. fn must be safe to call concurrently for distinct chunks.
+/// Exceptions from workers are rethrown on the calling thread (first one
+/// wins).
 template <typename Fn>
-void ParallelForChunks(std::uint64_t total, std::uint32_t num_chunks,
-                       std::uint32_t num_threads, Fn&& fn) {
+void ParallelForChunksIndexed(std::uint64_t total, std::uint32_t num_chunks,
+                              std::uint32_t num_threads, Fn&& fn) {
   TSD_CHECK(num_chunks >= 1);
   TSD_CHECK(num_threads >= 1);
   if (total == 0) return;
@@ -38,7 +42,7 @@ void ParallelForChunks(std::uint64_t total, std::uint32_t num_chunks,
     for (std::uint32_t c = 0; c < num_chunks; ++c) {
       const std::uint64_t begin = c * chunk_size;
       const std::uint64_t end = std::min(total, begin + chunk_size);
-      if (begin < end) fn(c, begin, end);
+      if (begin < end) fn(0U, c, begin, end);
     }
     return;
   }
@@ -48,7 +52,7 @@ void ParallelForChunks(std::uint64_t total, std::uint32_t num_chunks,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  auto worker = [&]() {
+  auto worker = [&](std::uint32_t worker_index) {
     while (!failed.load(std::memory_order_relaxed)) {
       const std::uint32_t c =
           next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -57,7 +61,7 @@ void ParallelForChunks(std::uint64_t total, std::uint32_t num_chunks,
       const std::uint64_t end = std::min(total, begin + chunk_size);
       if (begin >= end) continue;
       try {
-        fn(c, begin, end);
+        fn(worker_index, c, begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!failed.exchange(true)) first_error = std::current_exception();
@@ -67,9 +71,22 @@ void ParallelForChunks(std::uint64_t total, std::uint32_t num_chunks,
 
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
-  for (std::uint32_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (std::uint32_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back(worker, t);
+  }
   for (auto& thread : threads) thread.join();
   if (failed && first_error) std::rethrow_exception(first_error);
+}
+
+/// Chunk-only variant (no worker index); kept for callers whose state is
+/// per-chunk rather than per-worker.
+template <typename Fn>
+void ParallelForChunks(std::uint64_t total, std::uint32_t num_chunks,
+                       std::uint32_t num_threads, Fn&& fn) {
+  ParallelForChunksIndexed(
+      total, num_chunks, num_threads,
+      [&fn](std::uint32_t /*worker*/, std::uint32_t chunk, std::uint64_t begin,
+            std::uint64_t end) { fn(chunk, begin, end); });
 }
 
 }  // namespace tsd

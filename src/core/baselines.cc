@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/query_pipeline.h"
 #include "core/scoring.h"
 #include "core/top_r_collector.h"
 #include "graph/ego_network.h"
@@ -13,18 +14,22 @@
 namespace tsd {
 namespace {
 
-/// Shared bound-ordered top-r loop for the two ego-decomposition baselines.
-/// `score_fn(ego, want_contexts)` evaluates the model on one ego-network.
+/// Shared bound-ordered top-r loop for the two ego-decomposition baselines,
+/// run on the common QueryPipeline. `score_fn(ego, want_contexts)` evaluates
+/// the model on one extracted ego-network.
 template <typename ScoreFn>
-TopRResult DegreeBoundedTopR(const Graph& graph, std::uint32_t r,
-                             std::uint32_t divisor, ScoreFn&& score_fn) {
+TopRResult DegreeBoundedTopR(QueryPipeline& pipeline, const Graph& graph,
+                             std::uint32_t r, std::uint32_t divisor,
+                             ScoreFn&& score_fn) {
   WallTimer total;
   TopRResult result;
   const VertexId n = graph.num_vertices();
 
   // Degree bound: each context needs at least `divisor` members.
-  std::vector<std::uint32_t> bounds(n);
-  for (VertexId v = 0; v < n; ++v) bounds[v] = graph.degree(v) / divisor;
+  std::vector<std::uint32_t> bounds;
+  pipeline.MapScores(n, &bounds, [&](QueryWorkspace&, VertexId v) {
+    return graph.degree(v) / divisor;
+  });
 
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), 0U);
@@ -32,30 +37,23 @@ TopRResult DegreeBoundedTopR(const Graph& graph, std::uint32_t r,
     return bounds[a] > bounds[b];
   });
 
-  EgoNetworkExtractor extractor(graph);
-  EgoNetwork ego;
   TopRCollector collector(r);
   {
     ScopedTimer t(&result.stats.score_seconds);
-    for (VertexId v : order) {
-      if (collector.CanPrune(bounds[v], v)) break;
-      extractor.ExtractInto(v, &ego);
-      const ScoreResult s = score_fn(ego, /*want_contexts=*/false);
-      ++result.stats.vertices_scored;
-      collector.Offer(v, s.score);
-    }
+    result.stats.vertices_scored = pipeline.ScoreOrdered(
+        order, bounds, &collector, [&](QueryWorkspace& ws, VertexId v) {
+          return score_fn(ws.ExtractEgo(v), /*want_contexts=*/false).score;
+        });
   }
   {
     ScopedTimer t(&result.stats.context_seconds);
-    for (const auto& [vertex, score] : collector.Ranked()) {
-      TopREntry entry;
-      entry.vertex = vertex;
-      entry.score = score;
-      extractor.ExtractInto(vertex, &ego);
-      entry.contexts = score_fn(ego, /*want_contexts=*/true).contexts;
-      result.entries.push_back(std::move(entry));
-    }
+    pipeline.MaterializeEntries(
+        collector.Ranked(), &result.entries,
+        [&](QueryWorkspace& ws, VertexId v) {
+          return score_fn(ws.ExtractEgo(v), /*want_contexts=*/true).contexts;
+        });
   }
+  result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
 }
@@ -65,8 +63,12 @@ TopRResult DegreeBoundedTopR(const Graph& graph, std::uint32_t r,
 TopRResult CompDivSearcher::TopR(std::uint32_t r, std::uint32_t k) {
   TSD_CHECK(r >= 1);
   TSD_CHECK(k >= 1);
+  // Neither baseline needs a truss decomposer; the workspaces only serve
+  // ego extraction scratch.
+  QueryPipeline& pipeline =
+      pipeline_.For(graph_, EgoTrussMethod::kHash, query_options());
   return DegreeBoundedTopR(
-      graph_, r, std::max(1U, k),
+      pipeline, graph_, r, std::max(1U, k),
       [k](EgoNetwork& ego, bool want_contexts) {
         return ScoreComponents(ego, k, want_contexts);
       });
@@ -75,9 +77,11 @@ TopRResult CompDivSearcher::TopR(std::uint32_t r, std::uint32_t k) {
 TopRResult CoreDivSearcher::TopR(std::uint32_t r, std::uint32_t k) {
   TSD_CHECK(r >= 1);
   TSD_CHECK(k >= 1);
+  QueryPipeline& pipeline =
+      pipeline_.For(graph_, EgoTrussMethod::kHash, query_options());
   // A k-core has at least k+1 vertices.
   return DegreeBoundedTopR(
-      graph_, r, k + 1,
+      pipeline, graph_, r, k + 1,
       [k](EgoNetwork& ego, bool want_contexts) {
         return ScoreKCores(ego, k, want_contexts);
       });

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "core/query_pipeline.h"
 #include "core/types.h"
 #include "graph/graph.h"
 
@@ -27,6 +28,7 @@ class CompDivSearcher : public DiversitySearcher {
 
  private:
   const Graph& graph_;
+  PipelineCache pipeline_;
 };
 
 class CoreDivSearcher : public DiversitySearcher {
@@ -37,6 +39,7 @@ class CoreDivSearcher : public DiversitySearcher {
 
  private:
   const Graph& graph_;
+  PipelineCache pipeline_;
 };
 
 /// r distinct uniformly random vertices (deterministic for a given seed).

@@ -12,18 +12,23 @@
 
 namespace tsd {
 
+std::uint32_t BoundSearcher::UpperBound(std::uint32_t degree,
+                                        std::uint32_t m_v, std::uint32_t k) {
+  const std::uint64_t min_context_edges =
+      static_cast<std::uint64_t>(k) * (k - 1) / 2;
+  const std::uint32_t by_vertices = degree / k;
+  const std::uint32_t by_edges =
+      static_cast<std::uint32_t>(m_v / min_context_edges);
+  return std::min(by_vertices, by_edges);
+}
+
 std::vector<std::uint32_t> BoundSearcher::UpperBounds(
     const Graph& graph, const std::vector<std::uint32_t>& ego_edge_counts,
     std::uint32_t k) {
   TSD_CHECK(k >= 2);
   std::vector<std::uint32_t> bounds(graph.num_vertices());
-  const std::uint64_t min_context_edges =
-      static_cast<std::uint64_t>(k) * (k - 1) / 2;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    const std::uint32_t by_vertices = graph.degree(v) / k;
-    const std::uint32_t by_edges = static_cast<std::uint32_t>(
-        ego_edge_counts[v] / min_context_edges);
-    bounds[v] = std::min(by_vertices, by_edges);
+    bounds[v] = UpperBound(graph.degree(v), ego_edge_counts[v], k);
   }
   return bounds;
 }
@@ -34,6 +39,11 @@ TopRResult BoundSearcher::TopR(std::uint32_t r, std::uint32_t k) {
   WallTimer total;
   TopRResult result;
 
+  // The pipeline is cached against the full graph and rebound to the
+  // per-query sparsified subgraph below, so workspace scratch survives
+  // across queries.
+  QueryPipeline& pipeline = pipeline_.For(graph_, method_, query_options());
+
   // --- Preprocessing: sparsification + bounds (lines 1–4 of Algorithm 4).
   Graph reduced;
   std::vector<std::uint32_t> bounds;
@@ -42,52 +52,51 @@ TopRResult BoundSearcher::TopR(std::uint32_t r, std::uint32_t k) {
     TrussDecomposition truss(graph_);
     // Property 1: only edges with τ_G(e) ≥ k+1 can contribute.
     reduced = KTrussSubgraph(graph_, truss.edge_trussness(), k + 1);
+    pipeline.Rebind(reduced);
     const std::vector<std::uint32_t> ego_edges = TrianglesPerVertex(reduced);
-    bounds = UpperBounds(reduced, ego_edges, k);
+    pipeline.MapScores(reduced.num_vertices(), &bounds,
+                       [&](QueryWorkspace&, VertexId v) {
+                         return UpperBound(reduced.degree(v), ego_edges[v], k);
+                       });
   }
 
   // Candidates in non-increasing bound order (ties by ascending id for
-  // determinism). Bucket sort: bounds are small integers.
+  // determinism).
   std::vector<VertexId> order(reduced.num_vertices());
   std::iota(order.begin(), order.end(), 0U);
   std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
     return bounds[a] > bounds[b];
   });
 
-  EgoNetworkExtractor extractor(reduced);
-  EgoTrussDecomposer decomposer(method_);
-  EgoNetwork ego;
   TopRCollector collector(r);
   {
     ScopedTimer t(&result.stats.score_seconds);
-    for (VertexId v : order) {
-      if (collector.CanPrune(bounds[v], v)) break;  // early termination
-      extractor.ExtractInto(v, &ego);
-      const std::vector<std::uint32_t> trussness = decomposer.Compute(ego);
-      const ScoreResult score =
-          ScoreFromEgoTrussness(ego, trussness, k, /*want_contexts=*/false);
-      ++result.stats.vertices_scored;
-      collector.Offer(v, score.score);
-    }
+    result.stats.vertices_scored = pipeline.ScoreOrdered(
+        order, bounds, &collector, [k](QueryWorkspace& ws, VertexId v) {
+          EgoNetwork& ego = ws.DecomposeEgo(v);
+          return ScoreFromEgoTrussness(ego, ws.trussness(), k,
+                                       /*want_contexts=*/false)
+              .score;
+        });
   }
 
   // Materialize the winners' contexts on the reduced graph (identical to
   // the original graph's contexts by Property 1).
   {
     ScopedTimer t(&result.stats.context_seconds);
-    for (const auto& [vertex, score] : collector.Ranked()) {
-      TopREntry entry;
-      entry.vertex = vertex;
-      entry.score = score;
-      extractor.ExtractInto(vertex, &ego);
-      const std::vector<std::uint32_t> trussness = decomposer.Compute(ego);
-      entry.contexts =
-          ScoreFromEgoTrussness(ego, trussness, k, /*want_contexts=*/true)
+    pipeline.MaterializeEntries(
+        collector.Ranked(), &result.entries,
+        [k](QueryWorkspace& ws, VertexId v) {
+          EgoNetwork& ego = ws.DecomposeEgo(v);
+          return ScoreFromEgoTrussness(ego, ws.trussness(), k,
+                                       /*want_contexts=*/true)
               .contexts;
-      result.entries.push_back(std::move(entry));
-    }
+        });
   }
 
+  // Re-arm the workspaces for the next query (the reduced graph dies here).
+  pipeline.Rebind(graph_);
+  result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
 }

@@ -9,10 +9,15 @@
 //     candidates are visited in non-increasing bound order; once the answer
 //     set is full and the next bound is below the r-th best score, the
 //     search terminates early.
+//
+// The bound-computation, exact-verification, and context phases all run on
+// the shared QueryPipeline; with num_threads > 1 the early termination
+// happens at round granularity (rankings unchanged, see query_pipeline.h).
 #pragma once
 
 #include <cstdint>
 
+#include "core/query_pipeline.h"
 #include "core/types.h"
 #include "graph/graph.h"
 #include "truss/ego_truss.h"
@@ -28,6 +33,11 @@ class BoundSearcher : public DiversitySearcher {
   TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
   std::string name() const override { return "bound"; }
 
+  /// The Lemma 2 upper bound of one vertex with degree `degree` and `m_v`
+  /// ego edges.
+  static std::uint32_t UpperBound(std::uint32_t degree, std::uint32_t m_v,
+                                  std::uint32_t k);
+
   /// The Lemma 2 upper bounds for every vertex of `graph` (exposed for
   /// tests and the ablation benchmarks). `ego_edge_counts` is m_v per
   /// vertex, e.g. from TrianglesPerVertex.
@@ -38,6 +48,7 @@ class BoundSearcher : public DiversitySearcher {
  private:
   const Graph& graph_;
   EgoTrussMethod method_;
+  PipelineCache pipeline_;
 };
 
 }  // namespace tsd

@@ -8,6 +8,7 @@
 #include "common/disjoint_set.h"
 #include "common/timer.h"
 #include "core/max_spanning_forest.h"
+#include "core/query_pipeline.h"
 #include "core/top_r_collector.h"
 
 namespace tsd {
@@ -154,8 +155,12 @@ TopRResult DynamicTsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
   TopRResult result;
   const VertexId n = graph_.num_vertices();
 
-  std::vector<std::uint32_t> bounds(n);
-  for (VertexId v = 0; v < n; ++v) bounds[v] = ScoreUpperBound(v, k);
+  // Index-only pipeline, like the frozen TsdIndex.
+  QueryPipeline pipeline(query_options());
+  std::vector<std::uint32_t> bounds;
+  pipeline.MapScores(n, &bounds, [&](QueryWorkspace&, VertexId v) {
+    return ScoreUpperBound(v, k);
+  });
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), 0U);
   std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
@@ -163,18 +168,14 @@ TopRResult DynamicTsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
   });
 
   TopRCollector collector(r);
-  for (VertexId v : order) {
-    if (collector.CanPrune(bounds[v], v)) break;
-    ++result.stats.vertices_scored;
-    collector.Offer(v, Score(v, k));
-  }
-  for (const auto& [vertex, score] : collector.Ranked()) {
-    TopREntry entry;
-    entry.vertex = vertex;
-    entry.score = score;
-    entry.contexts = ScoreWithContexts(vertex, k).contexts;
-    result.entries.push_back(std::move(entry));
-  }
+  result.stats.vertices_scored = pipeline.ScoreOrdered(
+      order, bounds, &collector,
+      [&](QueryWorkspace&, VertexId v) { return Score(v, k); });
+  pipeline.MaterializeEntries(
+      collector.Ranked(), &result.entries, [&](QueryWorkspace&, VertexId v) {
+        return ScoreWithContexts(v, k).contexts;
+      });
+  result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
 }

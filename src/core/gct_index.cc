@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/serialize.h"
 #include "common/timer.h"
+#include "core/query_pipeline.h"
 #include "core/top_r_collector.h"
 
 namespace tsd {
@@ -338,24 +339,23 @@ TopRResult GctIndex::TopR(std::uint32_t r, std::uint32_t k) {
   TopRResult result;
   const VertexId n = num_vertices();
 
+  // Index-only pipeline: score queries are two binary searches per vertex.
+  QueryPipeline pipeline(query_options());
   TopRCollector collector(r);
   {
     ScopedTimer t(&result.stats.score_seconds);
-    for (VertexId v = 0; v < n; ++v) {
-      collector.Offer(v, Score(v, k));
-      ++result.stats.vertices_scored;
-    }
+    result.stats.vertices_scored = pipeline.ScoreRange(
+        n, &collector,
+        [&](QueryWorkspace&, VertexId v) { return Score(v, k); });
   }
   {
     ScopedTimer t(&result.stats.context_seconds);
-    for (const auto& [vertex, score] : collector.Ranked()) {
-      TopREntry entry;
-      entry.vertex = vertex;
-      entry.score = score;
-      entry.contexts = ScoreWithContexts(vertex, k).contexts;
-      result.entries.push_back(std::move(entry));
-    }
+    pipeline.MaterializeEntries(
+        collector.Ranked(), &result.entries, [&](QueryWorkspace&, VertexId v) {
+          return ScoreWithContexts(v, k).contexts;
+        });
   }
+  result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
 }

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
-#include "core/online_search.h"
+#include "core/query_pipeline.h"
 #include "core/scoring.h"
 
 namespace tsd {
@@ -53,20 +53,22 @@ TopRResult HybridSearcher::TopR(std::uint32_t r, std::uint32_t k) {
   }
 
   // The dominant cost: online social-context computation (Algorithm 2) for
-  // each answer vertex.
-  OnlineSearcher online(graph_);
+  // each answer vertex — the paper's motivation for GCT. Winners are
+  // independent, so this phase parallelizes across them.
+  QueryPipeline& pipeline =
+      pipeline_.For(graph_, EgoTrussMethod::kHash, query_options());
   {
     ScopedTimer t(&result.stats.context_seconds);
-    for (const auto& [vertex, score] : answers) {
-      TopREntry entry;
-      entry.vertex = vertex;
-      entry.score = score;
-      entry.contexts =
-          online.ScoreVertex(vertex, k, /*want_contexts=*/true).contexts;
-      ++result.stats.vertices_scored;
-      result.entries.push_back(std::move(entry));
-    }
+    pipeline.MaterializeEntries(
+        answers, &result.entries, [k](QueryWorkspace& ws, VertexId v) {
+          EgoNetwork& ego = ws.DecomposeEgo(v);
+          return ScoreFromEgoTrussness(ego, ws.trussness(), k,
+                                       /*want_contexts=*/true)
+              .contexts;
+        });
+    result.stats.vertices_scored = answers.size();
   }
+  result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
 }

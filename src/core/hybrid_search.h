@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/gct_index.h"
+#include "core/query_pipeline.h"
 #include "core/types.h"
 #include "graph/graph.h"
 
@@ -30,6 +31,7 @@ class HybridSearcher : public DiversitySearcher {
 
  private:
   const Graph& graph_;
+  PipelineCache pipeline_;
   // rankings_[k - 2]: all vertices with positive score at threshold k,
   // sorted by (score desc, id asc), with their scores.
   std::vector<std::vector<std::pair<VertexId, std::uint32_t>>> rankings_;

@@ -6,13 +6,17 @@
 
 namespace tsd {
 
+QueryPipeline& OnlineSearcher::Pipeline() {
+  return pipeline_.For(graph_, method_, query_options());
+}
+
 ScoreResult OnlineSearcher::ScoreVertex(VertexId v, std::uint32_t k,
-                                        bool want_contexts) const {
-  EgoNetworkExtractor extractor(graph_);
-  EgoTrussDecomposer decomposer(method_);
-  EgoNetwork ego = extractor.Extract(v);
-  const std::vector<std::uint32_t> trussness = decomposer.Compute(ego);
-  return ScoreFromEgoTrussness(ego, trussness, k, want_contexts);
+                                        bool want_contexts) {
+  // Single-vertex path on workspace 0 of the cached pipeline, so repeated
+  // calls (tsdtool score) reuse all scratch.
+  QueryWorkspace& ws = Pipeline().workspace(0);
+  EgoNetwork& ego = ws.DecomposeEgo(v);
+  return ScoreFromEgoTrussness(ego, ws.trussness(), k, want_contexts);
 }
 
 TopRResult OnlineSearcher::TopR(std::uint32_t r, std::uint32_t k) {
@@ -20,39 +24,35 @@ TopRResult OnlineSearcher::TopR(std::uint32_t r, std::uint32_t k) {
   TSD_CHECK(k >= 2);
   WallTimer total;
   TopRResult result;
+  QueryPipeline& pipeline = Pipeline();
 
-  EgoNetworkExtractor extractor(graph_);
-  EgoTrussDecomposer decomposer(method_);
-  EgoNetwork ego;
   TopRCollector collector(r);
   {
     ScopedTimer t(&result.stats.score_seconds);
-    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
-      extractor.ExtractInto(v, &ego);
-      const std::vector<std::uint32_t> trussness = decomposer.Compute(ego);
-      const ScoreResult score =
-          ScoreFromEgoTrussness(ego, trussness, k, /*want_contexts=*/false);
-      ++result.stats.vertices_scored;
-      collector.Offer(v, score.score);
-    }
+    result.stats.vertices_scored = pipeline.ScoreRange(
+        graph_.num_vertices(), &collector,
+        [k](QueryWorkspace& ws, VertexId v) {
+          EgoNetwork& ego = ws.DecomposeEgo(v);
+          return ScoreFromEgoTrussness(ego, ws.trussness(), k,
+                                       /*want_contexts=*/false)
+              .score;
+        });
   }
 
   // Materialize the winners' social contexts (line 8 of Algorithm 3).
   {
     ScopedTimer t(&result.stats.context_seconds);
-    for (const auto& [vertex, score] : collector.Ranked()) {
-      TopREntry entry;
-      entry.vertex = vertex;
-      entry.score = score;
-      extractor.ExtractInto(vertex, &ego);
-      const std::vector<std::uint32_t> trussness = decomposer.Compute(ego);
-      entry.contexts =
-          ScoreFromEgoTrussness(ego, trussness, k, /*want_contexts=*/true)
+    pipeline.MaterializeEntries(
+        collector.Ranked(), &result.entries,
+        [k](QueryWorkspace& ws, VertexId v) {
+          EgoNetwork& ego = ws.DecomposeEgo(v);
+          return ScoreFromEgoTrussness(ego, ws.trussness(), k,
+                                       /*want_contexts=*/true)
               .contexts;
-      result.entries.push_back(std::move(entry));
-    }
+        });
   }
 
+  result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
 }

@@ -3,11 +3,13 @@
 // Computes score(v) for every vertex from scratch (ego-network extraction +
 // truss decomposition per vertex, Algorithm 2) and keeps the r best. No
 // pruning; this is the reference implementation every optimized method is
-// tested against, and the "baseline" row of Table 2.
+// tested against, and the "baseline" row of Table 2. Runs on the shared
+// QueryPipeline, so it honours QueryOptions like every other searcher.
 #pragma once
 
 #include <cstdint>
 
+#include "core/query_pipeline.h"
 #include "core/scoring.h"
 #include "core/types.h"
 #include "graph/graph.h"
@@ -27,12 +29,14 @@ class OnlineSearcher : public DiversitySearcher {
   std::string name() const override { return "baseline"; }
 
   /// Computes score(v) and contexts for a single vertex (Algorithm 2).
-  ScoreResult ScoreVertex(VertexId v, std::uint32_t k,
-                          bool want_contexts) const;
+  ScoreResult ScoreVertex(VertexId v, std::uint32_t k, bool want_contexts);
 
  private:
+  QueryPipeline& Pipeline();
+
   const Graph& graph_;
   EgoTrussMethod method_;
+  PipelineCache pipeline_;
 };
 
 }  // namespace tsd

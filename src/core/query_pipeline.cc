@@ -1,0 +1,96 @@
+#include "core/query_pipeline.h"
+
+namespace tsd {
+
+QueryWorkspace::QueryWorkspace(const Graph* graph, EgoTrussMethod method)
+    : decomposer_(method) {
+  if (graph != nullptr) extractor_.emplace(*graph);
+}
+
+void QueryWorkspace::Rebind(const Graph& graph) {
+  TSD_CHECK_MSG(extractor_.has_value(),
+                "index-only workspace cannot be rebound to a graph");
+  extractor_->Rebind(graph);
+}
+
+EgoNetwork& QueryWorkspace::ExtractEgo(VertexId v) {
+  TSD_DCHECK(extractor_.has_value());
+  extractor_->ExtractInto(v, &ego_);
+  return ego_;
+}
+
+EgoNetwork& QueryWorkspace::DecomposeEgo(VertexId v) {
+  ExtractEgo(v);
+  decomposer_.ComputeInto(ego_, &trussness_);
+  return ego_;
+}
+
+QueryPipeline::QueryPipeline(const Graph& graph, EgoTrussMethod method,
+                             const QueryOptions& options)
+    : options_(options) {
+  TSD_CHECK(options_.num_threads >= 1);
+  workspaces_.reserve(options_.num_threads);
+  for (std::uint32_t t = 0; t < options_.num_threads; ++t) {
+    workspaces_.push_back(std::make_unique<QueryWorkspace>(&graph, method));
+  }
+}
+
+QueryPipeline::QueryPipeline(const QueryOptions& options) : options_(options) {
+  TSD_CHECK(options_.num_threads >= 1);
+  workspaces_.reserve(options_.num_threads);
+  for (std::uint32_t t = 0; t < options_.num_threads; ++t) {
+    workspaces_.push_back(
+        std::make_unique<QueryWorkspace>(nullptr, EgoTrussMethod::kAuto));
+  }
+}
+
+void QueryPipeline::Rebind(const Graph& graph) {
+  for (auto& workspace : workspaces_) workspace->Rebind(graph);
+}
+
+std::uint32_t QueryPipeline::ResolveChunks(std::uint64_t total) const {
+  std::uint32_t chunks = options_.num_chunks;
+  if (chunks == 0) {
+    // Auto: match the index builders — one chunk when sequential, 8 per
+    // thread otherwise for cheap dynamic load balancing.
+    chunks = options_.num_threads == 1 ? 1 : options_.num_threads * 8;
+  }
+  if (total > 0 && chunks > total) {
+    chunks = static_cast<std::uint32_t>(total);
+  }
+  return std::max(1U, chunks);
+}
+
+void QueryPipeline::MergeInto(std::vector<TopRCollector>& locals,
+                              TopRCollector* collector) const {
+  // Worker order; the top-r set under the total order is unique, so any
+  // merge order yields the same collector state.
+  for (TopRCollector& local : locals) {
+    for (const auto& [vertex, score] : local.Ranked()) {
+      collector->Offer(vertex, score);
+    }
+  }
+}
+
+QueryPipeline& PipelineCache::For(const Graph& graph, EgoTrussMethod method,
+                                  const QueryOptions& options) {
+  if (pipeline_ == nullptr || cached_options_ != options ||
+      cached_graph_ != &graph || cached_method_ != method) {
+    pipeline_ = std::make_unique<QueryPipeline>(graph, method, options);
+    cached_options_ = options;
+    cached_graph_ = &graph;
+    cached_method_ = method;
+  }
+  return *pipeline_;
+}
+
+QueryOptions QueryOptionsFromFlags(const Flags& flags) {
+  QueryOptions options;
+  options.num_threads = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("threads", 1)));
+  options.num_chunks = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, flags.GetInt("chunks", 0)));
+  return options;
+}
+
+}  // namespace tsd

@@ -1,0 +1,305 @@
+// The shared per-vertex query engine behind every DiversitySearcher.
+//
+// The full paper (arXiv:2007.05437) stresses that per-vertex ego-truss work
+// is embarrassingly parallel; before this engine only the index *builders*
+// exploited that. QueryPipeline owns one reusable workspace per worker
+// thread (ego-network extractor + truss decomposer + scratch EgoNetwork +
+// trussness buffer) and runs candidate vertices through a caller-supplied
+// scoring kernel via the chunked parallel-for in common/parallel.h. The
+// steady-state hot path performs no heap allocation: every buffer a kernel
+// needs lives in the workspace and is reused vertex to vertex.
+//
+// Determinism: the top-r answer set under the library-wide total order
+// (score desc, id asc) is unique, so per-worker collectors merged in worker
+// order yield rankings bit-identical to the sequential scan at any thread
+// count. Bound-ordered scans prune conservatively — a parallel round only
+// skips candidates the sequential scan would also have skipped — so
+// rankings match there too; only the number of exactly-scored candidates
+// (SearchStats::vertices_scored) can grow, because parallel rounds prune at
+// batch rather than per-vertex granularity.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/parallel.h"
+#include "core/top_r_collector.h"
+#include "core/types.h"
+#include "graph/ego_network.h"
+#include "truss/ego_truss.h"
+
+namespace tsd {
+
+/// Per-worker scratch: everything a scoring kernel needs, reused across
+/// vertices and across queries. Not thread-safe; the pipeline hands each
+/// worker its own instance.
+class QueryWorkspace {
+ public:
+  /// `graph` may be null for index-only pipelines (TSD/GCT scans, which
+  /// never touch an ego-network).
+  QueryWorkspace(const Graph* graph, EgoTrussMethod method);
+
+  /// Retargets the extractor to another graph, reusing scratch.
+  void Rebind(const Graph& graph);
+
+  /// Extracts G_N(v) into the reusable scratch ego and returns it.
+  EgoNetwork& ExtractEgo(VertexId v);
+
+  /// ExtractEgo + truss decomposition; trussness() is parallel to the
+  /// returned ego's edges.
+  EgoNetwork& DecomposeEgo(VertexId v);
+
+  const std::vector<std::uint32_t>& trussness() const { return trussness_; }
+  EgoNetwork& ego() { return ego_; }
+  EgoTrussDecomposer& decomposer() { return decomposer_; }
+
+ private:
+  std::optional<EgoNetworkExtractor> extractor_;
+  EgoTrussDecomposer decomposer_;
+  EgoNetwork ego_;
+  std::vector<std::uint32_t> trussness_;
+};
+
+/// Reusable parallel engine for per-vertex scoring and context
+/// materialization. Construct once per (graph, method, options) and share
+/// across queries; all entry points are deterministic at any thread count.
+///
+/// Kernels receive (QueryWorkspace&, VertexId) and must not touch state
+/// outside their workspace; the pipeline never runs one workspace on two
+/// threads at once.
+class QueryPipeline {
+ public:
+  /// Full pipeline whose workspaces can extract ego-networks of `graph`.
+  QueryPipeline(const Graph& graph, EgoTrussMethod method,
+                const QueryOptions& options);
+
+  /// Index-only pipeline: kernels read a prebuilt index and never need an
+  /// extractor (TSD / GCT query scans).
+  explicit QueryPipeline(const QueryOptions& options);
+
+  /// Retargets every workspace to another graph (same or smaller id space
+  /// reuses all scratch). Used by the bound search for its per-query
+  /// sparsified subgraph.
+  void Rebind(const Graph& graph);
+
+  std::uint32_t num_threads() const { return options_.num_threads; }
+
+  /// Direct access to one worker's scratch, for single-vertex entry points
+  /// (tsdtool score, HybridSearcher's per-winner recomputation) that want
+  /// workspace reuse without a full scan. Caller must not be inside a
+  /// pipeline run.
+  QueryWorkspace& workspace(std::uint32_t worker) {
+    TSD_DCHECK(worker < workspaces_.size());
+    return *workspaces_[worker];
+  }
+
+  /// Scores every vertex in [0, num_candidates) with
+  /// `fn(workspace, v) -> std::uint32_t` and offers all results into
+  /// `collector`. Returns the number of vertices scored (== num_candidates).
+  template <typename ScoreFn>
+  std::uint64_t ScoreRange(VertexId num_candidates, TopRCollector* collector,
+                           ScoreFn&& fn);
+
+  /// Bound-ordered scan with early termination (Algorithm 4 discipline):
+  /// visits `order` front to back — callers pass candidates sorted by
+  /// non-increasing `bounds[v]` — and stops once no remaining candidate can
+  /// displace the current r-th answer. Sequential runs prune per vertex;
+  /// parallel runs prune between rounds of one chunk per worker. Returns
+  /// the number of candidates exactly scored.
+  template <typename ScoreFn>
+  std::uint64_t ScoreOrdered(std::span<const VertexId> order,
+                             std::span<const std::uint32_t> bounds,
+                             TopRCollector* collector, ScoreFn&& fn);
+
+  /// Parallel per-vertex map `fn(workspace, v) -> std::uint32_t` into
+  /// `(*out)[v]` for v in [0, num_candidates) — the bound-computation pass.
+  template <typename MapFn>
+  void MapScores(VertexId num_candidates, std::vector<std::uint32_t>* out,
+                 MapFn&& fn);
+
+  /// Materializes the winners' TopREntry list (the context phase shared by
+  /// all searchers): for each (vertex, score) of `ranked`, in rank order,
+  /// fills entry i with contexts from
+  /// `fn(workspace, vertex) -> std::vector<SocialContext>`.
+  template <typename ContextFn>
+  void MaterializeEntries(
+      const std::vector<std::pair<VertexId, std::uint32_t>>& ranked,
+      std::vector<TopREntry>* entries, ContextFn&& fn);
+
+ private:
+  std::uint32_t ResolveChunks(std::uint64_t total) const;
+  void MergeInto(std::vector<TopRCollector>& locals,
+                 TopRCollector* collector) const;
+
+  QueryOptions options_;
+  // unique_ptr keeps workspace addresses stable and sidesteps copying the
+  // non-copyable scratch when the vector is built.
+  std::vector<std::unique_ptr<QueryWorkspace>> workspaces_;
+};
+
+/// Lazily builds (and caches) a pipeline so a searcher can keep one set of
+/// workspaces alive across queries and rebuild only when the requested
+/// options change.
+class PipelineCache {
+ public:
+  QueryPipeline& For(const Graph& graph, EgoTrussMethod method,
+                     const QueryOptions& options);
+
+ private:
+  std::unique_ptr<QueryPipeline> pipeline_;
+  QueryOptions cached_options_;
+  const Graph* cached_graph_ = nullptr;
+  EgoTrussMethod cached_method_ = EgoTrussMethod::kAuto;
+};
+
+/// Reads the canonical --threads / --chunks pipeline knobs (shared by
+/// tsdtool and every query benchmark; values clamped to sane ranges).
+QueryOptions QueryOptionsFromFlags(const Flags& flags);
+
+// ---------------------------------------------------------------------------
+// Template implementations.
+
+template <typename ScoreFn>
+std::uint64_t QueryPipeline::ScoreRange(VertexId num_candidates,
+                                        TopRCollector* collector,
+                                        ScoreFn&& fn) {
+  if (options_.num_threads == 1) {
+    QueryWorkspace& ws = *workspaces_[0];
+    for (VertexId v = 0; v < num_candidates; ++v) {
+      collector->Offer(v, fn(ws, v));
+    }
+    return num_candidates;
+  }
+
+  std::vector<TopRCollector> locals(options_.num_threads,
+                                    TopRCollector(collector->capacity()));
+  ParallelForChunksIndexed(
+      num_candidates, ResolveChunks(num_candidates), options_.num_threads,
+      [&](std::uint32_t worker, std::uint32_t /*chunk*/, std::uint64_t begin,
+          std::uint64_t end) {
+        QueryWorkspace& ws = *workspaces_[worker];
+        TopRCollector& local = locals[worker];
+        for (std::uint64_t v = begin; v < end; ++v) {
+          local.Offer(static_cast<VertexId>(v),
+                      fn(ws, static_cast<VertexId>(v)));
+        }
+      });
+  MergeInto(locals, collector);
+  return num_candidates;
+}
+
+template <typename ScoreFn>
+std::uint64_t QueryPipeline::ScoreOrdered(std::span<const VertexId> order,
+                                          std::span<const std::uint32_t> bounds,
+                                          TopRCollector* collector,
+                                          ScoreFn&& fn) {
+  std::uint64_t scored = 0;
+  if (options_.num_threads == 1) {
+    QueryWorkspace& ws = *workspaces_[0];
+    for (VertexId v : order) {
+      if (collector->CanPrune(bounds[v], v)) break;  // early termination
+      collector->Offer(v, fn(ws, v));
+      ++scored;
+    }
+    return scored;
+  }
+
+  // Rounds of work split across the workers; the termination check runs
+  // between rounds against the merged collector. Candidates are
+  // bound-sorted, so checking the first candidate of a round covers the
+  // whole round. Round sizes ramp geometrically: the first rounds stay
+  // small so a search that terminates after a handful of candidates (r
+  // small, bounds tight — Example 3 scores exactly one vertex) does not
+  // pay for a full chunk per worker, while long scans quickly reach full
+  // chunk-sized rounds.
+  const std::uint32_t num_threads = options_.num_threads;
+  const std::uint64_t total = order.size();
+  const std::uint64_t chunk_size =
+      (total + ResolveChunks(total) - 1) / ResolveChunks(total);
+  const std::uint64_t max_round_size =
+      std::max<std::uint64_t>(chunk_size * num_threads, num_threads);
+  std::uint64_t round_size = std::min<std::uint64_t>(
+      max_round_size,
+      std::max<std::uint64_t>(std::uint64_t{num_threads} * 4,
+                              collector->capacity()));
+  std::vector<TopRCollector> locals;
+  std::uint64_t round_begin = 0;
+  while (round_begin < total) {
+    const VertexId first = order[round_begin];
+    if (collector->CanPrune(bounds[first], first)) break;
+    const std::uint64_t round_end = std::min(total, round_begin + round_size);
+    locals.assign(num_threads, TopRCollector(collector->capacity()));
+    ParallelForChunksIndexed(
+        round_end - round_begin, num_threads, num_threads,
+        [&](std::uint32_t worker, std::uint32_t /*chunk*/,
+            std::uint64_t begin, std::uint64_t end) {
+          QueryWorkspace& ws = *workspaces_[worker];
+          TopRCollector& local = locals[worker];
+          for (std::uint64_t i = begin; i < end; ++i) {
+            const VertexId v = order[round_begin + i];
+            local.Offer(v, fn(ws, v));
+          }
+        });
+    MergeInto(locals, collector);
+    scored += round_end - round_begin;
+    round_begin = round_end;
+    round_size = std::min(max_round_size, round_size * 2);
+  }
+  return scored;
+}
+
+template <typename MapFn>
+void QueryPipeline::MapScores(VertexId num_candidates,
+                              std::vector<std::uint32_t>* out, MapFn&& fn) {
+  out->resize(num_candidates);
+  if (options_.num_threads == 1) {
+    QueryWorkspace& ws = *workspaces_[0];
+    for (VertexId v = 0; v < num_candidates; ++v) (*out)[v] = fn(ws, v);
+    return;
+  }
+  ParallelForChunksIndexed(
+      num_candidates, ResolveChunks(num_candidates), options_.num_threads,
+      [&](std::uint32_t worker, std::uint32_t /*chunk*/, std::uint64_t begin,
+          std::uint64_t end) {
+        QueryWorkspace& ws = *workspaces_[worker];
+        for (std::uint64_t v = begin; v < end; ++v) {
+          (*out)[v] = fn(ws, static_cast<VertexId>(v));
+        }
+      });
+}
+
+template <typename ContextFn>
+void QueryPipeline::MaterializeEntries(
+    const std::vector<std::pair<VertexId, std::uint32_t>>& ranked,
+    std::vector<TopREntry>* entries, ContextFn&& fn) {
+  entries->resize(ranked.size());
+  // Each winner fills its own rank slot, so output order is deterministic
+  // regardless of which worker materializes which entry.
+  auto fill = [&](QueryWorkspace& ws, std::size_t i) {
+    TopREntry& entry = (*entries)[i];
+    entry.vertex = ranked[i].first;
+    entry.score = ranked[i].second;
+    entry.contexts = fn(ws, ranked[i].first);
+  };
+  if (options_.num_threads == 1 || ranked.size() < 2) {
+    QueryWorkspace& ws = *workspaces_[0];
+    for (std::size_t i = 0; i < ranked.size(); ++i) fill(ws, i);
+    return;
+  }
+  ParallelForChunksIndexed(
+      ranked.size(), ResolveChunks(ranked.size()), options_.num_threads,
+      [&](std::uint32_t worker, std::uint32_t /*chunk*/, std::uint64_t begin,
+          std::uint64_t end) {
+        QueryWorkspace& ws = *workspaces_[worker];
+        for (std::uint64_t i = begin; i < end; ++i) fill(ws, i);
+      });
+}
+
+}  // namespace tsd

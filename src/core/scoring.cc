@@ -1,7 +1,6 @@
 #include "core/scoring.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.h"
 #include "common/disjoint_set.h"
@@ -12,23 +11,27 @@ namespace {
 
 /// Groups the local vertices with include[i] into components of `dsu` and
 /// converts to sorted global-id contexts.
+///
+/// Roots map to output slots through a dense root→slot vector rather than a
+/// hash map (this is the per-winner hot loop of the context phase). Local
+/// ids ascend and ToGlobal is monotone in the local id, so member lists
+/// come out sorted and contexts appear in order of smallest member with no
+/// sorting.
 std::vector<SocialContext> MaterializeContexts(
     const EgoNetwork& ego, DisjointSet& dsu,
     const std::vector<char>& include) {
-  std::unordered_map<std::uint32_t, SocialContext> by_root;
-  for (std::uint32_t i = 0; i < ego.num_members(); ++i) {
-    if (include[i]) by_root[dsu.Find(i)].push_back(ego.ToGlobal(i));
-  }
+  constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> slot_of_root(ego.num_members(), kNoSlot);
   std::vector<SocialContext> contexts;
-  contexts.reserve(by_root.size());
-  for (auto& [root, members] : by_root) {
-    std::sort(members.begin(), members.end());
-    contexts.push_back(std::move(members));
+  for (std::uint32_t i = 0; i < ego.num_members(); ++i) {
+    if (!include[i]) continue;
+    const std::uint32_t root = dsu.Find(i);
+    if (slot_of_root[root] == kNoSlot) {
+      slot_of_root[root] = static_cast<std::uint32_t>(contexts.size());
+      contexts.emplace_back();
+    }
+    contexts[slot_of_root[root]].push_back(ego.ToGlobal(i));
   }
-  std::sort(contexts.begin(), contexts.end(),
-            [](const SocialContext& a, const SocialContext& b) {
-              return a.front() < b.front();
-            });
   return contexts;
 }
 

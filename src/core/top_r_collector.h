@@ -36,6 +36,9 @@ class TopRCollector {
 
   bool Full() const { return entries_.size() >= r_; }
 
+  /// The r this collector was built for.
+  std::uint32_t capacity() const { return r_; }
+
   /// Score of the current r-th ranked answer (only valid when Full()).
   std::uint32_t WorstScore() const {
     TSD_DCHECK(Full());

@@ -10,6 +10,7 @@
 #include "common/serialize.h"
 #include "common/timer.h"
 #include "core/max_spanning_forest.h"
+#include "core/query_pipeline.h"
 #include "core/top_r_collector.h"
 
 namespace tsd {
@@ -185,10 +186,16 @@ TopRResult TsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
   TopRResult result;
   const VertexId n = num_vertices();
 
-  std::vector<std::uint32_t> bounds(n);
+  // Index-only pipeline: the kernels below read the forest arrays and never
+  // touch an ego-network, so workspaces carry no extractor.
+  QueryPipeline pipeline(query_options());
+
+  std::vector<std::uint32_t> bounds;
   {
     ScopedTimer t(&result.stats.preprocess_seconds);
-    for (VertexId v = 0; v < n; ++v) bounds[v] = ScoreUpperBound(v, k);
+    pipeline.MapScores(n, &bounds, [&](QueryWorkspace&, VertexId v) {
+      return ScoreUpperBound(v, k);
+    });
   }
 
   std::vector<VertexId> order(n);
@@ -200,23 +207,19 @@ TopRResult TsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
   TopRCollector collector(r);
   {
     ScopedTimer t(&result.stats.score_seconds);
-    for (VertexId v : order) {
-      if (collector.CanPrune(bounds[v], v)) break;
-      ++result.stats.vertices_scored;
-      collector.Offer(v, Score(v, k));
-    }
+    result.stats.vertices_scored = pipeline.ScoreOrdered(
+        order, bounds, &collector,
+        [&](QueryWorkspace&, VertexId v) { return Score(v, k); });
   }
 
   {
     ScopedTimer t(&result.stats.context_seconds);
-    for (const auto& [vertex, score] : collector.Ranked()) {
-      TopREntry entry;
-      entry.vertex = vertex;
-      entry.score = score;
-      entry.contexts = ScoreWithContexts(vertex, k).contexts;
-      result.entries.push_back(std::move(entry));
-    }
+    pipeline.MaterializeEntries(
+        collector.Ranked(), &result.entries, [&](QueryWorkspace&, VertexId v) {
+          return ScoreWithContexts(v, k).contexts;
+        });
   }
+  result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
 }

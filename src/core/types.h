@@ -21,6 +21,19 @@ struct TopREntry {
   std::vector<SocialContext> contexts;
 };
 
+/// Execution knobs for the shared per-vertex query pipeline. Every searcher
+/// honours these via DiversitySearcher::set_query_options; rankings are
+/// bit-identical at any thread count.
+struct QueryOptions {
+  /// Worker threads for per-vertex scoring and context materialization.
+  std::uint32_t num_threads = 1;
+  /// Chunks the candidate range is split into (0 = auto: one chunk when
+  /// sequential, 8 per thread otherwise, matching the index builders).
+  std::uint32_t num_chunks = 0;
+
+  bool operator==(const QueryOptions&) const = default;
+};
+
 /// Instrumentation reported by every searcher; feeds Tables 2–4 and Fig. 9.
 struct SearchStats {
   /// Number of vertices whose exact structural diversity was computed
@@ -34,6 +47,8 @@ struct SearchStats {
   double score_seconds = 0;
   /// Time spent materializing the winners' social contexts.
   double context_seconds = 0;
+  /// Worker threads the query pipeline ran with (Fig. 8/15 speedup reports).
+  std::uint32_t threads_used = 1;
 };
 
 /// Result of a top-r structural diversity search: entries sorted by
@@ -57,6 +72,18 @@ class DiversitySearcher {
 
   /// Method name for logs and benchmark tables.
   virtual std::string name() const = 0;
+
+  /// Sets the pipeline knobs for subsequent TopR calls. The ranking is
+  /// bit-identical at any thread count; only wall time (and, for the
+  /// bound-pruned methods, the number of exactly-scored candidates —
+  /// parallel rounds prune at batch granularity) may differ.
+  void set_query_options(const QueryOptions& options) {
+    query_options_ = options;
+  }
+  const QueryOptions& query_options() const { return query_options_; }
+
+ protected:
+  QueryOptions query_options_;
 };
 
 /// Comparator for the library-wide ranking order: true if (score_a, a)

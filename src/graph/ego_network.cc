@@ -38,7 +38,16 @@ void EgoNetwork::BuildCsr() {
 }
 
 EgoNetworkExtractor::EgoNetworkExtractor(const Graph& graph)
-    : graph_(graph), local_id_(graph.num_vertices(), 0) {}
+    : graph_(&graph), local_id_(graph.num_vertices(), 0) {}
+
+void EgoNetworkExtractor::Rebind(const Graph& graph) {
+  graph_ = &graph;
+  // Invariant: local_id_ is all zeros between calls, so growing with zeros
+  // keeps it valid; a smaller graph simply leaves the tail unused.
+  if (local_id_.size() < graph.num_vertices()) {
+    local_id_.resize(graph.num_vertices(), 0);
+  }
+}
 
 EgoNetwork EgoNetworkExtractor::Extract(VertexId v) {
   EgoNetwork out;
@@ -47,9 +56,10 @@ EgoNetwork EgoNetworkExtractor::Extract(VertexId v) {
 }
 
 void EgoNetworkExtractor::ExtractInto(VertexId v, EgoNetwork* out) {
-  TSD_DCHECK(v < graph_.num_vertices());
+  TSD_DCHECK(v < graph_->num_vertices());
   out->center = v;
-  out->members.assign(graph_.neighbors(v).begin(), graph_.neighbors(v).end());
+  out->members.assign(graph_->neighbors(v).begin(),
+                      graph_->neighbors(v).end());
   out->edges.clear();
   out->offsets.clear();
   out->adj.clear();
@@ -63,7 +73,7 @@ void EgoNetworkExtractor::ExtractInto(VertexId v, EgoNetwork* out) {
   // (u, w) pairs are exactly the ego edges (triangles through v).
   for (std::uint32_t i = 0; i < out->members.size(); ++i) {
     const VertexId u = out->members[i];
-    for (VertexId w : graph_.neighbors(u)) {
+    for (VertexId w : graph_->neighbors(u)) {
       if (w <= u) continue;
       const std::uint32_t local_w = local_id_[w];
       if (local_w != 0) {

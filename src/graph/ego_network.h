@@ -65,6 +65,11 @@ class EgoNetworkExtractor {
  public:
   explicit EgoNetworkExtractor(const Graph& graph);
 
+  /// Retargets the extractor to another graph, reusing the scratch buffers
+  /// (only grown, never shrunk). Lets a per-query reduced graph — e.g. the
+  /// Algorithm 4 sparsified subgraph — run on a persistent workspace.
+  void Rebind(const Graph& graph);
+
   /// Extracts G_N(v). Includes isolated members (neighbors of v with no
   /// edges inside the ego-network).
   EgoNetwork Extract(VertexId v);
@@ -72,8 +77,10 @@ class EgoNetworkExtractor {
   /// Extraction reusing the caller's EgoNetwork storage.
   void ExtractInto(VertexId v, EgoNetwork* out);
 
+  const Graph& graph() const { return *graph_; }
+
  private:
-  const Graph& graph_;
+  const Graph* graph_;
   std::vector<std::uint32_t> local_id_;  // scratch: global -> local + 1, 0 = absent
 };
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "common/bucket_queue.h"
 #include "common/check.h"
 #include "truss/peeling.h"
 
@@ -13,32 +12,41 @@ EgoTrussDecomposer::EgoTrussDecomposer(EgoTrussMethod method,
     : method_(method), bitmap_budget_bytes_(bitmap_budget_bytes) {}
 
 std::vector<std::uint32_t> EgoTrussDecomposer::Compute(EgoNetwork& ego) {
+  std::vector<std::uint32_t> trussness;
+  ComputeInto(ego, &trussness);
+  return trussness;
+}
+
+void EgoTrussDecomposer::ComputeInto(EgoNetwork& ego,
+                                     std::vector<std::uint32_t>* trussness) {
   if (ego.offsets.empty()) ego.BuildCsr();
   const std::uint64_t l = ego.num_members();
   const bool bitmap_fits = l * l / 8 <= bitmap_budget_bytes_;
   switch (method_) {
     case EgoTrussMethod::kHash:
-      return ComputeHash(ego);
+      return ComputeHashInto(ego, trussness);
     case EgoTrussMethod::kBitmap:
-      return bitmap_fits ? ComputeBitmap(ego) : ComputeHash(ego);
+      return bitmap_fits ? ComputeBitmapInto(ego, trussness)
+                         : ComputeHashInto(ego, trussness);
     case EgoTrussMethod::kAuto: {
       // The bitmap kernel pays O(l²/64) for zeroing and per-edge AND scans;
       // it beats the merge-intersection kernel only on sufficiently dense
       // ego-networks. 64 edges per 1k of l² empirically splits the regimes.
       const bool dense_enough =
           static_cast<std::uint64_t>(ego.num_edges()) * 16 >= l * l / 64;
-      return (bitmap_fits && dense_enough) ? ComputeBitmap(ego)
-                                           : ComputeHash(ego);
+      return (bitmap_fits && dense_enough) ? ComputeBitmapInto(ego, trussness)
+                                           : ComputeHashInto(ego, trussness);
     }
   }
   TSD_CHECK(false);
   __builtin_unreachable();
 }
 
-std::vector<std::uint32_t> EgoTrussDecomposer::ComputeHash(EgoNetwork& ego) {
+void EgoTrussDecomposer::ComputeHashInto(
+    EgoNetwork& ego, std::vector<std::uint32_t>* trussness) {
   const std::uint32_t m = ego.num_edges();
   // Support via sorted-adjacency intersection per edge.
-  std::vector<std::uint32_t> support(m, 0);
+  support_.assign(m, 0);
   for (EdgeId e = 0; e < m; ++e) {
     const auto [u, w] = ego.edges[e];
     const auto nu = ego.LocalNeighbors(u);
@@ -57,7 +65,7 @@ std::vector<std::uint32_t> EgoTrussDecomposer::ComputeHash(EgoNetwork& ego) {
         ++j;
       }
     }
-    support[e] = count;
+    support_[e] = count;
   }
 
   CsrView<std::uint32_t> view;
@@ -66,15 +74,15 @@ std::vector<std::uint32_t> EgoTrussDecomposer::ComputeHash(EgoNetwork& ego) {
   view.adj = ego.adj;
   view.adj_edge_ids = ego.adj_edge_ids;
   view.edges = ego.edges;
-  return PeelSupportToTrussness(view, std::move(support));
+  PeelSupportToTrussnessInto(view, support_, queue_, trussness);
 }
 
-std::vector<std::uint32_t> EgoTrussDecomposer::ComputeBitmap(
-    EgoNetwork& ego) {
+void EgoTrussDecomposer::ComputeBitmapInto(
+    EgoNetwork& ego, std::vector<std::uint32_t>* trussness) {
   const std::uint32_t l = ego.num_members();
   const std::uint32_t m = ego.num_edges();
-  std::vector<std::uint32_t> trussness(m, 2);
-  if (m == 0) return trussness;
+  trussness->assign(m, 2);
+  if (m == 0) return;
 
   // Adjacency bitmaps (Algorithm 7, lines 7–11).
   if (bitmaps_.size() < l) bitmaps_.resize(l);
@@ -85,15 +93,15 @@ std::vector<std::uint32_t> EgoTrussDecomposer::ComputeBitmap(
   }
 
   // Support via AND-popcount (Algorithm 7, lines 12–13).
-  std::vector<std::uint32_t> support(m);
+  support_.resize(m);
   for (EdgeId e = 0; e < m; ++e) {
-    support[e] = static_cast<std::uint32_t>(
+    support_[e] = static_cast<std::uint32_t>(
         bitmaps_[ego.edges[e].u].AndPopcount(bitmaps_[ego.edges[e].v]));
   }
 
   // Bitmap-based peeling (Algorithm 7, line 14): on removal of (x, y) the
   // live common neighbors are exactly the set bits of Bits_x AND Bits_y.
-  BucketQueue queue(support);
+  queue_.Init(support_);
   std::uint32_t level = 0;
   auto local_edge_id = [&](std::uint32_t a, std::uint32_t b) -> EdgeId {
     const auto begin = ego.adj.begin() + ego.offsets[a];
@@ -102,21 +110,20 @@ std::vector<std::uint32_t> EgoTrussDecomposer::ComputeBitmap(
     TSD_DCHECK(it != end && *it == b);
     return ego.adj_edge_ids[static_cast<std::size_t>(it - ego.adj.begin())];
   };
-  while (!queue.Empty()) {
-    const EdgeId e = queue.PopMin();
-    level = std::max(level, queue.Key(e));
-    trussness[e] = level + 2;
+  while (!queue_.Empty()) {
+    const EdgeId e = queue_.PopMin();
+    level = std::max(level, queue_.Key(e));
+    (*trussness)[e] = level + 2;
     const auto [x, y] = ego.edges[e];
     bitmaps_[x].ForEachCommonBit(bitmaps_[y], [&](std::size_t z) {
-      queue.DecreaseKeyClamped(local_edge_id(x, static_cast<std::uint32_t>(z)),
-                               level);
-      queue.DecreaseKeyClamped(local_edge_id(y, static_cast<std::uint32_t>(z)),
-                               level);
+      queue_.DecreaseKeyClamped(
+          local_edge_id(x, static_cast<std::uint32_t>(z)), level);
+      queue_.DecreaseKeyClamped(
+          local_edge_id(y, static_cast<std::uint32_t>(z)), level);
     });
     bitmaps_[x].Clear(y);
     bitmaps_[y].Clear(x);
   }
-  return trussness;
 }
 
 std::vector<std::uint32_t> ComputeEgoTrussness(EgoNetwork& ego,

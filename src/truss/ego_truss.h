@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bitmap.h"
+#include "common/bucket_queue.h"
 #include "graph/ego_network.h"
 
 namespace tsd {
@@ -39,15 +40,24 @@ class EgoTrussDecomposer {
   /// Computes the trussness of every ego edge. Builds the ego CSR if absent.
   std::vector<std::uint32_t> Compute(EgoNetwork& ego);
 
+  /// Same, writing into the caller's buffer (resized to the edge count).
+  /// Together with the internal support/queue scratch this makes repeated
+  /// decompositions allocation-free in steady state — the QueryPipeline's
+  /// per-vertex hot path.
+  void ComputeInto(EgoNetwork& ego, std::vector<std::uint32_t>* trussness);
+
   EgoTrussMethod method() const { return method_; }
 
  private:
-  std::vector<std::uint32_t> ComputeHash(EgoNetwork& ego);
-  std::vector<std::uint32_t> ComputeBitmap(EgoNetwork& ego);
+  void ComputeHashInto(EgoNetwork& ego, std::vector<std::uint32_t>* trussness);
+  void ComputeBitmapInto(EgoNetwork& ego,
+                         std::vector<std::uint32_t>* trussness);
 
   EgoTrussMethod method_;
   std::size_t bitmap_budget_bytes_;
-  std::vector<Bitmap> bitmaps_;  // reused across calls
+  std::vector<Bitmap> bitmaps_;          // reused across calls
+  std::vector<std::uint32_t> support_;   // reused across calls
+  BucketQueue queue_;                    // reused across calls
 };
 
 /// One-shot convenience wrapper.

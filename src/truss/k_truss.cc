@@ -1,7 +1,6 @@
 #include "truss/k_truss.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/check.h"
 #include "common/disjoint_set.h"
@@ -11,20 +10,26 @@ namespace {
 
 /// Groups vertices by their DSU root, keeping only vertices where
 /// `include[v]` is true. Output components sorted by smallest member.
+///
+/// Roots are mapped to output slots through a dense root→slot vector
+/// instead of a hash map (this runs once per materialized context, hot in
+/// the context phase). Scanning vertices in ascending id order makes every
+/// component's member list come out sorted and assigns slots in order of
+/// each component's smallest member, so no sorting is needed at all.
 std::vector<std::vector<VertexId>> CollectComponents(
     DisjointSet& dsu, const std::vector<char>& include) {
-  std::unordered_map<std::uint32_t, std::vector<VertexId>> by_root;
-  for (VertexId v = 0; v < include.size(); ++v) {
-    if (include[v]) by_root[dsu.Find(v)].push_back(v);
-  }
+  constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> slot_of_root(include.size(), kNoSlot);
   std::vector<std::vector<VertexId>> components;
-  components.reserve(by_root.size());
-  for (auto& [root, members] : by_root) {
-    std::sort(members.begin(), members.end());
-    components.push_back(std::move(members));
+  for (VertexId v = 0; v < include.size(); ++v) {
+    if (!include[v]) continue;
+    const std::uint32_t root = dsu.Find(v);
+    if (slot_of_root[root] == kNoSlot) {
+      slot_of_root[root] = static_cast<std::uint32_t>(components.size());
+      components.emplace_back();
+    }
+    components[slot_of_root[root]].push_back(v);
   }
-  std::sort(components.begin(), components.end(),
-            [](const auto& a, const auto& b) { return a.front() < b.front(); });
   return components;
 }
 

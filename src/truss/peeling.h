@@ -33,23 +33,25 @@ struct CsrView {
   }
 };
 
-/// Peels edges by support and returns the trussness of every edge.
-/// `support` is consumed (moved into the queue).
+/// Peels edges by support and writes the trussness of every edge into
+/// `*trussness` (resized to the edge count, reusing its capacity). `queue`
+/// is caller-owned scratch so repeated decompositions stay allocation-free.
 template <typename OffsetT>
-std::vector<std::uint32_t> PeelSupportToTrussness(
-    const CsrView<OffsetT>& view, std::vector<std::uint32_t> support) {
+void PeelSupportToTrussnessInto(const CsrView<OffsetT>& view,
+                                const std::vector<std::uint32_t>& support,
+                                BucketQueue& queue,
+                                std::vector<std::uint32_t>* trussness) {
   const std::size_t m = view.edges.size();
-  std::vector<std::uint32_t> trussness(m, 2);
-  if (m == 0) return trussness;
+  trussness->assign(m, 2);
+  if (m == 0) return;
 
-  BucketQueue queue(support);
+  queue.Init(support);
   std::uint32_t level = 0;  // current peeling level in support space (k-2)
 
-  // Scratch for the common-neighbor scan.
   while (!queue.Empty()) {
     const EdgeId e = queue.PopMin();
     level = std::max(level, queue.Key(e));
-    trussness[e] = level + 2;
+    (*trussness)[e] = level + 2;
 
     const auto [u0, v0] = view.edges[e];
     // Scan the smaller adjacency; binary-search the larger for membership.
@@ -79,6 +81,15 @@ std::vector<std::uint32_t> PeelSupportToTrussness(
       queue.DecreaseKeyClamped(e_vw, level);
     }
   }
+}
+
+/// One-shot wrapper returning the trussness vector.
+template <typename OffsetT>
+std::vector<std::uint32_t> PeelSupportToTrussness(
+    const CsrView<OffsetT>& view, std::vector<std::uint32_t> support) {
+  std::vector<std::uint32_t> trussness;
+  BucketQueue queue;
+  PeelSupportToTrussnessInto(view, support, queue, &trussness);
   return trussness;
 }
 

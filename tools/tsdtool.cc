@@ -9,6 +9,7 @@
 //   tsdtool gen    --out=<file> [--model=hk|ba|er|rmat] [--n=10000] ...
 //
 // Edge lists are SNAP-style text ("u v" per line, '#' comments).
+#include <algorithm>
 #include <iostream>
 #include <memory>
 
@@ -34,19 +35,23 @@ int Usage() {
   std::cerr <<
       "usage: tsdtool <command> [args]\n"
       "  stats <edge-list>                         graph + trussness stats\n"
-      "  topr  <edge-list> [--k=3] [--r=10] [--method=gct]\n"
+      "  topr  <edge-list> [--k=3] [--r=10] [--method=gct] [--threads=1]\n"
       "                                            top-r diversity search\n"
       "  score <edge-list> --v=<id> [--k=3]        score + contexts of one "
       "vertex\n"
       "  build <edge-list> --out=<file> [--index=gct]\n"
       "                                            build + save an index\n"
-      "  query --index-file=<file> [--index=gct] [--k=3] [--r=10]\n"
+      "  query --index-file=<file> [--index=gct] [--k=3] [--r=10] "
+      "[--threads=1]\n"
       "                                            query a saved index\n"
       "  gen   --out=<file> [--model=hk] [--n=10000] [--m-per=5] [--p=0.5] "
       "[--seed=1]\n"
       "                                            generate a synthetic "
       "graph\n"
-      "methods: gct tsd online bound comp core\n";
+      "methods: gct tsd online bound comp core\n"
+      "--threads=N runs the query pipeline on N workers (identical output; "
+      "--chunks=M\ntunes load balancing). Results go to stdout, diagnostics "
+      "to stderr.\n";
   return 2;
 }
 
@@ -70,9 +75,11 @@ void PrintTopR(const TopRResult& result, bool contexts) {
       std::cout << "\n";
     }
   }
-  std::cout << "search space: " << result.stats.vertices_scored
-            << " vertices, time: " << HumanSeconds(result.stats.total_seconds)
-            << "\n";
+  // Diagnostics go to stderr so the ranked output on stdout is byte-stable
+  // across runs and thread counts.
+  std::cerr << "search space: " << result.stats.vertices_scored
+            << " vertices, threads: " << result.stats.threads_used
+            << ", time: " << HumanSeconds(result.stats.total_seconds) << "\n";
 }
 
 int RunStats(const Graph& g) {
@@ -119,6 +126,7 @@ int RunTopR(const Graph& g, const Flags& flags) {
   DiversitySearcher* active = searcher ? searcher.get()
                               : tsd    ? static_cast<DiversitySearcher*>(tsd.get())
                                        : static_cast<DiversitySearcher*>(gct.get());
+  active->set_query_options(QueryOptionsFromFlags(flags));
   std::cout << "method: " << active->name() << " k=" << k << " r=" << r
             << "\n";
   PrintTopR(active->TopR(std::min<std::uint32_t>(r, g.num_vertices()), k),
@@ -173,10 +181,12 @@ int RunQuery(const Flags& flags) {
   const auto r = static_cast<std::uint32_t>(flags.GetInt("r", 10));
   if (kind == "tsd") {
     TsdIndex index = TsdIndex::Load(path);
+    index.set_query_options(QueryOptionsFromFlags(flags));
     PrintTopR(index.TopR(std::min<std::uint32_t>(r, index.num_vertices()), k),
               flags.GetBool("contexts", false));
   } else {
     GctIndex index = GctIndex::Load(path);
+    index.set_query_options(QueryOptionsFromFlags(flags));
     PrintTopR(index.TopR(std::min<std::uint32_t>(r, index.num_vertices()), k),
               flags.GetBool("contexts", false));
   }
