@@ -1,0 +1,40 @@
+#include "core/batch_query.h"
+
+#include <functional>
+
+namespace tsd {
+
+void FillBatchStats(std::vector<TopRResult>* results,
+                    const SearchStats& stats) {
+  for (TopRResult& result : *results) result.stats = stats;
+}
+
+BatchQueryRunner::BatchQueryRunner(std::span<const BatchQuery> queries)
+    : queries_(queries.begin(), queries.end()) {
+  thresholds_.reserve(queries_.size());
+  for (const BatchQuery& query : queries_) {
+    TSD_CHECK_MSG(query.k >= 2, "batch query requires k >= 2");
+    TSD_CHECK_MSG(query.r >= 1, "batch query requires r >= 1");
+    thresholds_.push_back(query.k);
+  }
+  std::sort(thresholds_.begin(), thresholds_.end(),
+            std::greater<std::uint32_t>());
+  thresholds_.erase(std::unique(thresholds_.begin(), thresholds_.end()),
+                    thresholds_.end());
+
+  k_index_.reserve(queries_.size());
+  collectors_.reserve(queries_.size());
+  collector_ptrs_.reserve(queries_.size());
+  for (const BatchQuery& query : queries_) {
+    const auto it = std::lower_bound(thresholds_.begin(), thresholds_.end(),
+                                     query.k, std::greater<std::uint32_t>());
+    TSD_DCHECK(it != thresholds_.end() && *it == query.k);
+    k_index_.push_back(static_cast<std::uint32_t>(it - thresholds_.begin()));
+    collectors_.emplace_back(query.r);
+  }
+  for (TopRCollector& collector : collectors_) {
+    collector_ptrs_.push_back(&collector);
+  }
+}
+
+}  // namespace tsd

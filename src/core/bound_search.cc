@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/timer.h"
+#include "core/batch_query.h"
 #include "core/scoring.h"
 #include "core/top_r_collector.h"
 #include "truss/k_truss.h"
@@ -99,6 +100,56 @@ TopRResult BoundSearcher::TopR(std::uint32_t r, std::uint32_t k) {
   result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
+}
+
+std::vector<TopRResult> BoundSearcher::SearchBatch(
+    std::span<const BatchQuery> queries) {
+  WallTimer total;
+  std::vector<TopRResult> results(queries.size());
+  if (queries.empty()) return results;
+  SearchStats stats;
+  BatchQueryRunner runner(queries);
+  QueryPipeline& pipeline = pipeline_.For(graph_, method_, query_options());
+
+  // The smallest requested k gives the loosest sparsification, which is
+  // valid for every batched threshold at once (KTrussSubgraph preserves the
+  // vertex-id space, so the candidate range matches the per-query scans).
+  const std::uint32_t k_min = runner.thresholds().back();
+  Graph reduced;
+  {
+    ScopedTimer t(&stats.preprocess_seconds);
+    TrussDecomposition truss(graph_);
+    reduced = KTrussSubgraph(graph_, truss.edge_trussness(), k_min + 1);
+    pipeline.Rebind(reduced);
+  }
+
+  // Exact multi-k scores for every surviving candidate: with all thresholds
+  // answered from one sweep, the Lemma 2 bound ordering would only save the
+  // component count at the already-decomposed egos, so the batch path scans
+  // the reduced range outright.
+  {
+    ScopedTimer t(&stats.score_seconds);
+    stats.vertices_scored =
+        runner.RunEgoScan(pipeline, reduced.num_vertices());
+  }
+
+  {
+    ScopedTimer t(&stats.context_seconds);
+    runner.MaterializeGrouped(
+        pipeline, &results,
+        [](QueryWorkspace& ws, VertexId v) { ws.DecomposeEgo(v); },
+        [](QueryWorkspace& ws, VertexId /*v*/, std::uint32_t k) {
+          return ScoreFromEgoTrussness(ws.ego(), ws.trussness(), k,
+                                       /*want_contexts=*/true)
+              .contexts;
+        });
+  }
+
+  pipeline.Rebind(graph_);
+  stats.threads_used = pipeline.num_threads();
+  stats.total_seconds = total.Seconds();
+  FillBatchStats(&results, stats);
+  return results;
 }
 
 }  // namespace tsd

@@ -31,6 +31,16 @@ class BoundSearcher : public DiversitySearcher {
       : graph_(graph), method_(method) {}
 
   TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+
+  /// Amortized batch path: one global truss decomposition and one
+  /// sparsification at the smallest requested k serve every query (Property
+  /// 1 holds per k on that subgraph since its edge set contains every edge
+  /// with τ_G(e) ≥ k+1 for all batched k), then one ego decomposition per
+  /// surviving vertex scores all thresholds. Exact scores for every
+  /// candidate, so entries are bit-identical to per-query TopR.
+  std::vector<TopRResult> SearchBatch(
+      std::span<const BatchQuery> queries) override;
+
   std::string name() const override { return "bound"; }
 
   /// The Lemma 2 upper bound of one vertex with degree `degree` and `m_v`

@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/serialize.h"
 #include "common/timer.h"
+#include "core/batch_query.h"
 #include "core/query_pipeline.h"
 #include "core/top_r_collector.h"
 
@@ -292,7 +293,29 @@ std::uint32_t GctIndex::Score(VertexId v, std::uint32_t k) const {
   return static_cast<std::uint32_t>((n_k - sn_first) - (m_k - se_first));
 }
 
-ScoreResult GctIndex::ScoreWithContexts(VertexId v, std::uint32_t k) const {
+void GctIndex::ScoresForThresholds(VertexId v,
+                                   std::span<const std::uint32_t> thresholds,
+                                   std::uint32_t* scores) const {
+  TSD_DCHECK(v < num_vertices());
+  // Both slices are sorted by weight descending, so the ≥k prefixes only
+  // grow as the threshold drops: one merged sweep serves every k.
+  const auto sn_begin = sn_offsets_[v];
+  const auto sn_end = sn_offsets_[v + 1];
+  const auto se_begin = se_offsets_[v];
+  const auto se_end = se_offsets_[v + 1];
+  std::uint32_t n_k = 0;
+  std::uint32_t m_k = 0;
+  for (std::size_t t = 0; t < thresholds.size(); ++t) {
+    const std::uint32_t k = thresholds[t];
+    TSD_DCHECK(t == 0 || thresholds[t - 1] > k);
+    while (sn_begin + n_k < sn_end && sn_tau_[sn_begin + n_k] >= k) ++n_k;
+    while (se_begin + m_k < se_end && se_w_[se_begin + m_k] >= k) ++m_k;
+    scores[t] = n_k - m_k;  // Lemma 3
+  }
+}
+
+ScoreResult GctIndex::ScoreWithContexts(VertexId v, std::uint32_t k,
+                                        IndexQueryScratch& scratch) const {
   TSD_CHECK(k >= 2);
   TSD_CHECK(v < num_vertices());
   const auto sn_begin = sn_offsets_[v];
@@ -300,29 +323,35 @@ ScoreResult GctIndex::ScoreWithContexts(VertexId v, std::uint32_t k) const {
   std::uint32_t n_k = 0;
   while (sn_begin + n_k < sn_end && sn_tau_[sn_begin + n_k] >= k) ++n_k;
 
-  DisjointSet dsu(n_k);
+  scratch.dsu.Reset(n_k);
   const auto se_begin = se_offsets_[v];
   const auto se_end = se_offsets_[v + 1];
   for (auto i = se_begin; i < se_end && se_w_[i] >= k; ++i) {
     TSD_DCHECK(se_a_[i] < n_k && se_b_[i] < n_k);
-    dsu.Union(se_a_[i], se_b_[i]);
+    scratch.dsu.Union(se_a_[i], se_b_[i]);
   }
 
-  std::unordered_map<std::uint32_t, SocialContext> by_root;
+  // Supernode roots map to context slots through a dense root→slot vector
+  // in first-occurrence order; contexts then sort by smallest member, the
+  // same output order as the historical hash-map grouping.
+  constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+  scratch.slots.assign(n_k, kNoSlot);
+  ScoreResult result;
   for (std::uint32_t i = 0; i < n_k; ++i) {
-    SocialContext& context = by_root[dsu.Find(i)];
+    const std::uint32_t root = scratch.dsu.Find(i);
+    if (scratch.slots[root] == kNoSlot) {
+      scratch.slots[root] = static_cast<std::uint32_t>(result.contexts.size());
+      result.contexts.emplace_back();
+    }
+    SocialContext& context = result.contexts[scratch.slots[root]];
     const auto mem_begin = member_offsets_[sn_begin + i];
     const auto mem_end = member_offsets_[sn_begin + i + 1];
     context.insert(context.end(), members_.begin() + mem_begin,
                    members_.begin() + mem_end);
   }
-
-  ScoreResult result;
-  result.score = static_cast<std::uint32_t>(by_root.size());
-  result.contexts.reserve(by_root.size());
-  for (auto& [root, members] : by_root) {
-    std::sort(members.begin(), members.end());
-    result.contexts.push_back(std::move(members));
+  result.score = static_cast<std::uint32_t>(result.contexts.size());
+  for (SocialContext& context : result.contexts) {
+    std::sort(context.begin(), context.end());
   }
   std::sort(result.contexts.begin(), result.contexts.end(),
             [](const SocialContext& a, const SocialContext& b) {
@@ -351,13 +380,47 @@ TopRResult GctIndex::TopR(std::uint32_t r, std::uint32_t k) {
   {
     ScopedTimer t(&result.stats.context_seconds);
     pipeline.MaterializeEntries(
-        collector.Ranked(), &result.entries, [&](QueryWorkspace&, VertexId v) {
-          return ScoreWithContexts(v, k).contexts;
+        collector.Ranked(), &result.entries,
+        [&](QueryWorkspace& ws, VertexId v) {
+          return ScoreWithContexts(v, k, ws.index_scratch()).contexts;
         });
   }
   result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
+}
+
+std::vector<TopRResult> GctIndex::SearchBatch(
+    std::span<const BatchQuery> queries) {
+  WallTimer total;
+  std::vector<TopRResult> results(queries.size());
+  if (queries.empty()) return results;
+  SearchStats stats;
+  BatchQueryRunner runner(queries);
+  QueryPipeline pipeline(query_options());
+
+  {
+    ScopedTimer t(&stats.score_seconds);
+    stats.vertices_scored = runner.Scan(
+        pipeline, num_vertices(),
+        [this, &runner](QueryWorkspace&, VertexId v, std::uint32_t* out) {
+          ScoresForThresholds(v, runner.thresholds(), out);
+        });
+  }
+
+  {
+    ScopedTimer t(&stats.context_seconds);
+    runner.MaterializeGrouped(
+        pipeline, &results, [](QueryWorkspace&, VertexId) {},
+        [this](QueryWorkspace& ws, VertexId v, std::uint32_t k) {
+          return ScoreWithContexts(v, k, ws.index_scratch()).contexts;
+        });
+  }
+
+  stats.threads_used = pipeline.num_threads();
+  stats.total_seconds = total.Seconds();
+  FillBatchStats(&results, stats);
+  return results;
 }
 
 std::size_t GctIndex::SizeBytes() const {

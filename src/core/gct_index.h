@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
+#include "core/query_scratch.h"
 #include "core/scoring.h"
 #include "core/tsd_index.h"
 #include "core/types.h"
@@ -49,13 +51,32 @@ class GctIndex : public DiversitySearcher {
   /// score(v) at threshold k via Lemma 3 (two binary searches).
   std::uint32_t Score(VertexId v, std::uint32_t k) const;
 
+  /// score(v) at every threshold of `thresholds` (strictly descending) via
+  /// one merged sweep of the supernode and superedge slices — the
+  /// batch-query kernel.
+  void ScoresForThresholds(VertexId v,
+                           std::span<const std::uint32_t> thresholds,
+                           std::uint32_t* scores) const;
+
   /// Score plus materialized social contexts (union of supernode member
-  /// lists over the superedge forest).
-  ScoreResult ScoreWithContexts(VertexId v, std::uint32_t k) const;
+  /// lists over the superedge forest). The scratch overload is
+  /// allocation-free in the steady state apart from the returned contexts.
+  ScoreResult ScoreWithContexts(VertexId v, std::uint32_t k,
+                                IndexQueryScratch& scratch) const;
+  ScoreResult ScoreWithContexts(VertexId v, std::uint32_t k) const {
+    IndexQueryScratch scratch;
+    return ScoreWithContexts(v, k, scratch);
+  }
 
   /// Index-based top-r search (exact scores are cheap, so no pruning bound
   /// is needed; the full scan is O(n log)).
   TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+
+  /// Amortized batch path: one slice sweep per vertex scores every
+  /// requested threshold (bit-identical to per-query TopR).
+  std::vector<TopRResult> SearchBatch(
+      std::span<const BatchQuery> queries) override;
+
   std::string name() const override { return "GCT"; }
 
   VertexId num_vertices() const {

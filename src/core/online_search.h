@@ -26,6 +26,12 @@ class OnlineSearcher : public DiversitySearcher {
       : graph_(graph), method_(method) {}
 
   TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+
+  /// Amortized batch path: one ego decomposition per vertex feeds every
+  /// query's collector (bit-identical to per-query TopR).
+  std::vector<TopRResult> SearchBatch(
+      std::span<const BatchQuery> queries) override;
+
   std::string name() const override { return "baseline"; }
 
   /// Computes score(v) and contexts for a single vertex (Algorithm 2).

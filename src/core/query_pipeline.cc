@@ -64,9 +64,10 @@ std::uint32_t QueryPipeline::ResolveChunks(std::uint64_t total) const {
 void QueryPipeline::MergeInto(std::vector<TopRCollector>& locals,
                               TopRCollector* collector) const {
   // Worker order; the top-r set under the total order is unique, so any
-  // merge order yields the same collector state.
+  // merge order yields the same collector state. The locals die after the
+  // merge, so take their entries instead of copying.
   for (TopRCollector& local : locals) {
-    for (const auto& [vertex, score] : local.Ranked()) {
+    for (const auto& [vertex, score] : local.TakeRanked()) {
       collector->Offer(vertex, score);
     }
   }

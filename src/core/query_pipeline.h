@@ -30,6 +30,7 @@
 #include "common/check.h"
 #include "common/flags.h"
 #include "common/parallel.h"
+#include "core/query_scratch.h"
 #include "core/top_r_collector.h"
 #include "core/types.h"
 #include "graph/ego_network.h"
@@ -60,11 +61,33 @@ class QueryWorkspace {
   EgoNetwork& ego() { return ego_; }
   EgoTrussDecomposer& decomposer() { return decomposer_; }
 
+  /// Reusable scratch for index score/context kernels (TSD endpoint dedup,
+  /// GCT context grouping) — no steady-state allocation across queries.
+  IndexQueryScratch& index_scratch() { return index_scratch_; }
+
+  /// Reusable multi-threshold scorer for batch queries.
+  MultiKEgoScorer& multi_scorer() { return multi_scorer_; }
+
+  /// Generic per-worker u32 buffer (per-threshold score staging in batch
+  /// kernels).
+  std::vector<std::uint32_t>& u32_scratch() { return u32_scratch_; }
+
+  /// Bytes currently reserved by the reusable scratch structures; exposed
+  /// so tests can assert the steady state allocates nothing new.
+  std::size_t scratch_capacity_bytes() const {
+    return index_scratch_.capacity_bytes() + multi_scorer_.capacity_bytes() +
+           trussness_.capacity() * sizeof(std::uint32_t) +
+           u32_scratch_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   std::optional<EgoNetworkExtractor> extractor_;
   EgoTrussDecomposer decomposer_;
   EgoNetwork ego_;
   std::vector<std::uint32_t> trussness_;
+  IndexQueryScratch index_scratch_;
+  MultiKEgoScorer multi_scorer_;
+  std::vector<std::uint32_t> u32_scratch_;
 };
 
 /// Reusable parallel engine for per-vertex scoring and context
@@ -118,11 +141,29 @@ class QueryPipeline {
                              std::span<const std::uint32_t> bounds,
                              TopRCollector* collector, ScoreFn&& fn);
 
+  /// Batch variant of ScoreRange: one pass over [0, num_candidates) scoring
+  /// every vertex for all queries at once. `fn(workspace, v, scores)` fills
+  /// scores[q] for each q in [0, collectors.size()); each score is offered
+  /// into collectors[q]. Because the top-r set under the total order is
+  /// unique, each collector ends bit-identical to a dedicated ScoreRange
+  /// pass offering the same per-vertex scores, at any thread count.
+  template <typename MultiScoreFn>
+  std::uint64_t ScoreRangeMulti(VertexId num_candidates,
+                                std::span<TopRCollector* const> collectors,
+                                MultiScoreFn&& fn);
+
   /// Parallel per-vertex map `fn(workspace, v) -> std::uint32_t` into
   /// `(*out)[v]` for v in [0, num_candidates) — the bound-computation pass.
   template <typename MapFn>
   void MapScores(VertexId num_candidates, std::vector<std::uint32_t>* out,
                  MapFn&& fn);
+
+  /// Parallel loop `fn(workspace, i)` over i in [0, num_items) with one
+  /// workspace per worker. Deterministic as long as distinct items write
+  /// disjoint output slots (the grouped context-materialization pattern of
+  /// the batch searchers).
+  template <typename ItemFn>
+  void ForEach(std::uint64_t num_items, ItemFn&& fn);
 
   /// Materializes the winners' TopREntry list (the context phase shared by
   /// all searchers): for each (vertex, score) of `ranked`, in rank order,
@@ -255,6 +296,57 @@ std::uint64_t QueryPipeline::ScoreOrdered(std::span<const VertexId> order,
   return scored;
 }
 
+template <typename MultiScoreFn>
+std::uint64_t QueryPipeline::ScoreRangeMulti(
+    VertexId num_candidates, std::span<TopRCollector* const> collectors,
+    MultiScoreFn&& fn) {
+  const std::size_t num_queries = collectors.size();
+  if (num_queries == 0) return 0;
+  if (options_.num_threads == 1) {
+    QueryWorkspace& ws = *workspaces_[0];
+    std::vector<std::uint32_t> scores(num_queries);
+    for (VertexId v = 0; v < num_candidates; ++v) {
+      fn(ws, v, scores.data());
+      for (std::size_t q = 0; q < num_queries; ++q) {
+        collectors[q]->Offer(v, scores[q]);
+      }
+    }
+    return num_candidates;
+  }
+
+  // One local collector per (worker, query); scores staged per worker.
+  std::vector<std::vector<TopRCollector>> locals(options_.num_threads);
+  std::vector<std::vector<std::uint32_t>> scores(options_.num_threads);
+  for (std::uint32_t t = 0; t < options_.num_threads; ++t) {
+    locals[t].reserve(num_queries);
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      locals[t].emplace_back(collectors[q]->capacity());
+    }
+    scores[t].resize(num_queries);
+  }
+  ParallelForChunksIndexed(
+      num_candidates, ResolveChunks(num_candidates), options_.num_threads,
+      [&](std::uint32_t worker, std::uint32_t /*chunk*/, std::uint64_t begin,
+          std::uint64_t end) {
+        QueryWorkspace& ws = *workspaces_[worker];
+        for (std::uint64_t v = begin; v < end; ++v) {
+          fn(ws, static_cast<VertexId>(v), scores[worker].data());
+          for (std::size_t q = 0; q < num_queries; ++q) {
+            locals[worker][q].Offer(static_cast<VertexId>(v),
+                                    scores[worker][q]);
+          }
+        }
+      });
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    for (std::uint32_t t = 0; t < options_.num_threads; ++t) {
+      for (const auto& [vertex, score] : locals[t][q].TakeRanked()) {
+        collectors[q]->Offer(vertex, score);
+      }
+    }
+  }
+  return num_candidates;
+}
+
 template <typename MapFn>
 void QueryPipeline::MapScores(VertexId num_candidates,
                               std::vector<std::uint32_t>* out, MapFn&& fn) {
@@ -272,6 +364,22 @@ void QueryPipeline::MapScores(VertexId num_candidates,
         for (std::uint64_t v = begin; v < end; ++v) {
           (*out)[v] = fn(ws, static_cast<VertexId>(v));
         }
+      });
+}
+
+template <typename ItemFn>
+void QueryPipeline::ForEach(std::uint64_t num_items, ItemFn&& fn) {
+  if (options_.num_threads == 1 || num_items < 2) {
+    QueryWorkspace& ws = *workspaces_[0];
+    for (std::uint64_t i = 0; i < num_items; ++i) fn(ws, i);
+    return;
+  }
+  ParallelForChunksIndexed(
+      num_items, ResolveChunks(num_items), options_.num_threads,
+      [&](std::uint32_t worker, std::uint32_t /*chunk*/, std::uint64_t begin,
+          std::uint64_t end) {
+        QueryWorkspace& ws = *workspaces_[worker];
+        for (std::uint64_t i = begin; i < end; ++i) fn(ws, i);
       });
 }
 

@@ -1,0 +1,56 @@
+#include "core/query_scratch.h"
+
+#include <algorithm>
+
+namespace tsd {
+
+void MultiKEgoScorer::Compute(const EgoNetwork& ego,
+                              const std::vector<std::uint32_t>& trussness,
+                              std::span<const std::uint32_t> thresholds,
+                              std::uint32_t* scores) {
+  TSD_DCHECK(trussness.size() == ego.edges.size());
+  const std::uint32_t l = ego.num_members();
+  const std::uint32_t m = ego.num_edges();
+  dsu_.Reset(l);
+  touched_.assign(l, 0);
+
+  // Edge ids in descending trussness order (counting sort, reused buffers).
+  std::uint32_t max_w = 0;
+  for (std::uint32_t w : trussness) max_w = std::max(max_w, w);
+  bucket_.assign(max_w + 2, 0);
+  for (std::uint32_t w : trussness) ++bucket_[w];
+  {
+    std::uint32_t cursor = 0;
+    for (std::uint32_t w = max_w + 1; w-- > 0;) {
+      const std::uint32_t count = bucket_[w];
+      bucket_[w] = cursor;
+      cursor += count;
+    }
+  }
+  sorted_edges_.resize(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    sorted_edges_[bucket_[trussness[e]]++] = e;
+  }
+
+  std::uint32_t touched_count = 0;
+  std::uint32_t union_count = 0;
+  std::uint32_t cursor = 0;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const std::uint32_t k = thresholds[i];
+    TSD_DCHECK(i == 0 || thresholds[i - 1] > k);
+    while (cursor < m && trussness[sorted_edges_[cursor]] >= k) {
+      const auto [u, v] = ego.edges[sorted_edges_[cursor]];
+      if (dsu_.Union(u, v)) ++union_count;
+      for (std::uint32_t endpoint : {u, v}) {
+        if (!touched_[endpoint]) {
+          touched_[endpoint] = 1;
+          ++touched_count;
+        }
+      }
+      ++cursor;
+    }
+    scores[i] = touched_count - union_count;
+  }
+}
+
+}  // namespace tsd

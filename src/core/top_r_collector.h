@@ -73,6 +73,18 @@ class TopRCollector {
     return out;
   }
 
+  /// Ranked (best-first) entries, emptying the collector: the move-out
+  /// variant for merges and end-of-search extraction, where the collector's
+  /// own copy is dead after the call.
+  std::vector<std::pair<VertexId, std::uint32_t>> TakeRanked() {
+    std::vector<std::pair<VertexId, std::uint32_t>> out = Ranked();
+    entries_.clear();
+    return out;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
  private:
   // Ordered worst-first: ascending score, then descending id, so that
   // *begin() is the entry that leaves first.

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 
 #include "common/check.h"
 #include "common/disjoint_set.h"
 #include "common/parallel.h"
 #include "common/serialize.h"
 #include "common/timer.h"
+#include "core/batch_query.h"
 #include "core/max_spanning_forest.h"
 #include "core/query_pipeline.h"
 #include "core/top_r_collector.h"
@@ -103,7 +103,8 @@ TsdIndex TsdIndex::Build(const Graph& graph, const Options& options) {
   return index;
 }
 
-std::uint32_t TsdIndex::Score(VertexId v, std::uint32_t k) const {
+std::uint32_t TsdIndex::Score(VertexId v, std::uint32_t k,
+                              IndexQueryScratch& scratch) const {
   TSD_CHECK(k >= 2);
   TSD_CHECK(v < num_vertices());
   const std::uint64_t begin = offsets_[v];
@@ -111,56 +112,86 @@ std::uint32_t TsdIndex::Score(VertexId v, std::uint32_t k) const {
 
   // Count qualified edges and distinct endpoints; the forest property gives
   // score = |endpoints| - |edges|.
-  std::unordered_map<VertexId, std::uint32_t> seen;
+  scratch.ids.Begin(num_vertices());
   std::uint32_t edges = 0;
   for (std::uint64_t i = begin; i < end && weight_[i] >= k; ++i) {
     ++edges;
-    seen.emplace(edge_u_[i], 0);
-    seen.emplace(edge_v_[i], 0);
+    scratch.ids.Insert(edge_u_[i]);
+    scratch.ids.Insert(edge_v_[i]);
   }
-  return static_cast<std::uint32_t>(seen.size()) - edges;
+  return scratch.ids.size() - edges;
 }
 
-ScoreResult TsdIndex::ScoreWithContexts(VertexId v, std::uint32_t k) const {
+ScoreResult TsdIndex::ScoreWithContexts(VertexId v, std::uint32_t k,
+                                        IndexQueryScratch& scratch) const {
   TSD_CHECK(k >= 2);
   TSD_CHECK(v < num_vertices());
   const std::uint64_t begin = offsets_[v];
   const std::uint64_t end = offsets_[v + 1];
 
   // Map touched global endpoints to dense local ids.
-  std::unordered_map<VertexId, std::uint32_t> local;
-  std::vector<VertexId> global;
+  scratch.ids.Begin(num_vertices());
   std::uint64_t qualified_end = begin;
   for (std::uint64_t i = begin; i < end && weight_[i] >= k; ++i) {
-    for (VertexId endpoint : {edge_u_[i], edge_v_[i]}) {
-      if (local.emplace(endpoint, global.size()).second) {
-        global.push_back(endpoint);
-      }
-    }
+    scratch.ids.Insert(edge_u_[i]);
+    scratch.ids.Insert(edge_v_[i]);
     qualified_end = i + 1;
   }
+  const std::vector<VertexId>& global = scratch.ids.keys();
 
-  DisjointSet dsu(global.size());
+  scratch.dsu.Reset(global.size());
   for (std::uint64_t i = begin; i < qualified_end; ++i) {
-    dsu.Union(local[edge_u_[i]], local[edge_v_[i]]);
+    scratch.dsu.Union(scratch.ids.Insert(edge_u_[i]),
+                      scratch.ids.Insert(edge_v_[i]));
   }
 
-  std::unordered_map<std::uint32_t, SocialContext> by_root;
-  for (std::uint32_t i = 0; i < global.size(); ++i) {
-    by_root[dsu.Find(i)].push_back(global[i]);
-  }
+  // Roots map to context slots through a dense root→slot vector in
+  // first-occurrence order; members sorted per context and contexts ordered
+  // by smallest member, exactly as before.
+  constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+  scratch.slots.assign(global.size(), kNoSlot);
   ScoreResult result;
-  result.score = static_cast<std::uint32_t>(by_root.size());
-  result.contexts.reserve(by_root.size());
-  for (auto& [root, members] : by_root) {
-    std::sort(members.begin(), members.end());
-    result.contexts.push_back(std::move(members));
+  for (std::uint32_t i = 0; i < global.size(); ++i) {
+    const std::uint32_t root = scratch.dsu.Find(i);
+    if (scratch.slots[root] == kNoSlot) {
+      scratch.slots[root] = static_cast<std::uint32_t>(result.contexts.size());
+      result.contexts.emplace_back();
+    }
+    result.contexts[scratch.slots[root]].push_back(global[i]);
+  }
+  result.score = static_cast<std::uint32_t>(result.contexts.size());
+  for (SocialContext& context : result.contexts) {
+    std::sort(context.begin(), context.end());
   }
   std::sort(result.contexts.begin(), result.contexts.end(),
             [](const SocialContext& a, const SocialContext& b) {
               return a.front() < b.front();
             });
   return result;
+}
+
+void TsdIndex::ScoresForThresholds(VertexId v,
+                                   std::span<const std::uint32_t> thresholds,
+                                   IndexQueryScratch& scratch,
+                                   std::uint32_t* scores) const {
+  TSD_DCHECK(v < num_vertices());
+  const std::uint64_t end = offsets_[v + 1];
+  // Weights are sorted descending, so the qualified prefix only grows as
+  // the threshold drops: one sweep serves every k.
+  scratch.ids.Begin(num_vertices());
+  std::uint64_t i = offsets_[v];
+  std::uint32_t edges = 0;
+  for (std::size_t t = 0; t < thresholds.size(); ++t) {
+    const std::uint32_t k = thresholds[t];
+    TSD_DCHECK(t == 0 || thresholds[t - 1] > k);
+    while (i < end && weight_[i] >= k) {
+      ++edges;
+      scratch.ids.Insert(edge_u_[i]);
+      scratch.ids.Insert(edge_v_[i]);
+      ++i;
+    }
+    scores[t] = scratch.ids.size() - edges;
+  }
 }
 
 std::uint32_t TsdIndex::ScoreUpperBound(VertexId v, std::uint32_t k) const {
@@ -208,20 +239,58 @@ TopRResult TsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
   {
     ScopedTimer t(&result.stats.score_seconds);
     result.stats.vertices_scored = pipeline.ScoreOrdered(
-        order, bounds, &collector,
-        [&](QueryWorkspace&, VertexId v) { return Score(v, k); });
+        order, bounds, &collector, [&](QueryWorkspace& ws, VertexId v) {
+          return Score(v, k, ws.index_scratch());
+        });
   }
 
   {
     ScopedTimer t(&result.stats.context_seconds);
     pipeline.MaterializeEntries(
-        collector.Ranked(), &result.entries, [&](QueryWorkspace&, VertexId v) {
-          return ScoreWithContexts(v, k).contexts;
+        collector.Ranked(), &result.entries,
+        [&](QueryWorkspace& ws, VertexId v) {
+          return ScoreWithContexts(v, k, ws.index_scratch()).contexts;
         });
   }
   result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
+}
+
+std::vector<TopRResult> TsdIndex::SearchBatch(
+    std::span<const BatchQuery> queries) {
+  WallTimer total;
+  std::vector<TopRResult> results(queries.size());
+  if (queries.empty()) return results;
+  SearchStats stats;
+  BatchQueryRunner runner(queries);
+  QueryPipeline pipeline(query_options());
+
+  // One forest-slice sweep per vertex answers every threshold; with exact
+  // multi-k scores this cheap, the s̃core bound ordering would not pay for
+  // its per-k sort, so the batch path scans the full range.
+  {
+    ScopedTimer t(&stats.score_seconds);
+    stats.vertices_scored = runner.Scan(
+        pipeline, num_vertices(),
+        [this, &runner](QueryWorkspace& ws, VertexId v, std::uint32_t* out) {
+          ScoresForThresholds(v, runner.thresholds(), ws.index_scratch(), out);
+        });
+  }
+
+  {
+    ScopedTimer t(&stats.context_seconds);
+    runner.MaterializeGrouped(
+        pipeline, &results, [](QueryWorkspace&, VertexId) {},
+        [this](QueryWorkspace& ws, VertexId v, std::uint32_t k) {
+          return ScoreWithContexts(v, k, ws.index_scratch()).contexts;
+        });
+  }
+
+  stats.threads_used = pipeline.num_threads();
+  stats.total_seconds = total.Seconds();
+  FillBatchStats(&results, stats);
+  return results;
 }
 
 std::size_t TsdIndex::SizeBytes() const {

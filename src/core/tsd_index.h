@@ -16,8 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
+#include "core/query_scratch.h"
 #include "core/scoring.h"
 #include "core/types.h"
 #include "graph/ego_network.h"
@@ -53,16 +55,41 @@ class TsdIndex : public DiversitySearcher {
   static TsdIndex Build(const Graph& graph) { return Build(graph, Options()); }
 
   /// Structural diversity score of v at threshold k, via Algorithm 6.
-  std::uint32_t Score(VertexId v, std::uint32_t k) const;
+  /// The scratch overload is allocation-free in the steady state; the
+  /// convenience overload allocates a throwaway scratch per call.
+  std::uint32_t Score(VertexId v, std::uint32_t k,
+                      IndexQueryScratch& scratch) const;
+  std::uint32_t Score(VertexId v, std::uint32_t k) const {
+    IndexQueryScratch scratch;
+    return Score(v, k, scratch);
+  }
 
   /// Score plus materialized social contexts.
-  ScoreResult ScoreWithContexts(VertexId v, std::uint32_t k) const;
+  ScoreResult ScoreWithContexts(VertexId v, std::uint32_t k,
+                                IndexQueryScratch& scratch) const;
+  ScoreResult ScoreWithContexts(VertexId v, std::uint32_t k) const {
+    IndexQueryScratch scratch;
+    return ScoreWithContexts(v, k, scratch);
+  }
+
+  /// Scores v at every threshold of `thresholds` (strictly descending) in
+  /// one sweep over the forest slice — the batch-query kernel.
+  void ScoresForThresholds(VertexId v,
+                           std::span<const std::uint32_t> thresholds,
+                           IndexQueryScratch& scratch,
+                           std::uint32_t* scores) const;
 
   /// The s̃core(v) upper bound (Section 5.2). Always ≥ Score(v, k).
   std::uint32_t ScoreUpperBound(VertexId v, std::uint32_t k) const;
 
   /// Index-based top-r search with s̃core pruning.
   TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+
+  /// Amortized batch path: one forest-slice sweep per vertex scores every
+  /// requested threshold (bit-identical to per-query TopR).
+  std::vector<TopRResult> SearchBatch(
+      std::span<const BatchQuery> queries) override;
+
   std::string name() const override { return "TSD"; }
 
   /// Forest edges stored for v: parallel spans of (u, v, weight).

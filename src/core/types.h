@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,14 @@ struct TopRResult {
   SearchStats stats;
 };
 
+/// One query of a batch: top-r at trussness threshold k. A vertex's ego
+/// trussness decomposition determines its score for every k simultaneously,
+/// so a batch of queries can amortize one decomposition pass.
+struct BatchQuery {
+  std::uint32_t k = 2;
+  std::uint32_t r = 10;
+};
+
 /// Abstract interface implemented by every search method
 /// (online / bound / TSD / GCT / Hybrid and the Comp-/Core-Div baselines).
 class DiversitySearcher {
@@ -69,6 +78,22 @@ class DiversitySearcher {
   /// trussness threshold k (k ≥ 2) and returns them with their social
   /// contexts. Deterministic: ties broken by ascending vertex id.
   virtual TopRResult TopR(std::uint32_t r, std::uint32_t k) = 0;
+
+  /// Answers many (k, r) queries in one call. Entries are bit-identical to
+  /// calling TopR(q.r, q.k) per query, in query order, at any thread count.
+  /// The base implementation is the per-query loop; the amortized searchers
+  /// override it to run one ego-decomposition (or index) pass that feeds
+  /// every query, so per-batch stats (vertices_scored, timings) are shared
+  /// across the batch there rather than per query.
+  virtual std::vector<TopRResult> SearchBatch(
+      std::span<const BatchQuery> queries) {
+    std::vector<TopRResult> results;
+    results.reserve(queries.size());
+    for (const BatchQuery& query : queries) {
+      results.push_back(TopR(query.r, query.k));
+    }
+    return results;
+  }
 
   /// Method name for logs and benchmark tables.
   virtual std::string name() const = 0;

@@ -190,5 +190,35 @@ TEST(QueryPipelineTest, ScoreOrderedPrunesByBoundOrder) {
   }
 }
 
+// TakeRanked must hand out exactly what Ranked() would, best first, and
+// leave the collector empty and reusable.
+TEST(TopRCollectorTest, TakeRankedMatchesRankedAndEmptiesCollector) {
+  TopRCollector collector(4);
+  // Scores with ties to exercise the (score desc, id asc) order.
+  const std::pair<VertexId, std::uint32_t> offers[] = {
+      {7, 3}, {1, 5}, {9, 3}, {4, 5}, {2, 0}, {5, 7}};
+  for (const auto& [vertex, score] : offers) collector.Offer(vertex, score);
+
+  const auto snapshot = collector.Ranked();
+  const auto taken = collector.TakeRanked();
+  EXPECT_EQ(taken, snapshot);
+  ASSERT_EQ(taken.size(), 4u);
+  EXPECT_EQ(taken[0], (std::pair<VertexId, std::uint32_t>{5, 7}));
+  EXPECT_EQ(taken[1], (std::pair<VertexId, std::uint32_t>{1, 5}));
+  EXPECT_EQ(taken[2], (std::pair<VertexId, std::uint32_t>{4, 5}));
+  EXPECT_EQ(taken[3], (std::pair<VertexId, std::uint32_t>{7, 3}));
+
+  EXPECT_TRUE(collector.empty());
+  EXPECT_EQ(collector.size(), 0u);
+  EXPECT_TRUE(collector.Ranked().empty());
+  EXPECT_FALSE(collector.Full());
+
+  // The emptied collector is reusable.
+  collector.Offer(3, 2);
+  ASSERT_EQ(collector.Ranked().size(), 1u);
+  EXPECT_EQ(collector.Ranked()[0],
+            (std::pair<VertexId, std::uint32_t>{3, 2}));
+}
+
 }  // namespace
 }  // namespace tsd

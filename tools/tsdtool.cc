@@ -3,6 +3,7 @@
 //   tsdtool stats  <edge-list>                     graph + trussness stats
 //   tsdtool topr   <edge-list> [--k=3] [--r=10] [--method=gct|tsd|online|
 //                                       bound|comp|core]
+//   tsdtool batch  <edge-list> --k=4,6,8 [--r=10] [--method=gct]
 //   tsdtool score  <edge-list> --v=<id> [--k=3]    one vertex + contexts
 //   tsdtool build  <edge-list> --out=<index> [--index=gct|tsd]
 //   tsdtool query  --index-file=<index> [--k=3] [--r=10] [--index=gct|tsd]
@@ -12,6 +13,8 @@
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/check.h"
 #include "common/flags.h"
@@ -37,6 +40,12 @@ int Usage() {
       "  stats <edge-list>                         graph + trussness stats\n"
       "  topr  <edge-list> [--k=3] [--r=10] [--method=gct] [--threads=1]\n"
       "                                            top-r diversity search\n"
+      "  batch <edge-list> --k=4,6,8 [--r=10] [--method=gct] [--threads=1]\n"
+      "                                            many (k, r) queries in one\n"
+      "                                            amortized pass (one ego\n"
+      "                                            decomposition per vertex;\n"
+      "                                            --r broadcasts or lists\n"
+      "                                            per-query values)\n"
       "  score <edge-list> --v=<id> [--k=3]        score + contexts of one "
       "vertex\n"
       "  build <edge-list> --out=<file> [--index=gct]\n"
@@ -55,7 +64,8 @@ int Usage() {
   return 2;
 }
 
-void PrintTopR(const TopRResult& result, bool contexts) {
+void PrintTopR(const TopRResult& result, bool contexts,
+               bool with_stats = true) {
   TablePrinter table({"rank", "vertex", "score"});
   for (std::size_t i = 0; i < result.entries.size(); ++i) {
     table.Row(std::uint64_t{i + 1}, std::uint64_t{result.entries[i].vertex},
@@ -77,9 +87,68 @@ void PrintTopR(const TopRResult& result, bool contexts) {
   }
   // Diagnostics go to stderr so the ranked output on stdout is byte-stable
   // across runs and thread counts.
-  std::cerr << "search space: " << result.stats.vertices_scored
-            << " vertices, threads: " << result.stats.threads_used
-            << ", time: " << HumanSeconds(result.stats.total_seconds) << "\n";
+  if (with_stats) {
+    std::cerr << "search space: " << result.stats.vertices_scored
+              << " vertices, threads: " << result.stats.threads_used
+              << ", time: " << HumanSeconds(result.stats.total_seconds)
+              << "\n";
+  }
+}
+
+/// A searcher plus the index that may back it, built from --method.
+/// `active` is null when the method name is unknown.
+struct SearcherHolder {
+  std::unique_ptr<DiversitySearcher> searcher;
+  std::unique_ptr<TsdIndex> tsd;
+  std::unique_ptr<GctIndex> gct;
+  DiversitySearcher* active = nullptr;
+};
+
+SearcherHolder MakeSearcher(const Graph& g, const std::string& method) {
+  SearcherHolder holder;
+  if (method == "online") {
+    holder.searcher = std::make_unique<OnlineSearcher>(g);
+  } else if (method == "bound") {
+    holder.searcher = std::make_unique<BoundSearcher>(g);
+  } else if (method == "tsd") {
+    holder.tsd = std::make_unique<TsdIndex>(TsdIndex::Build(g));
+  } else if (method == "gct") {
+    holder.gct = std::make_unique<GctIndex>(GctIndex::Build(g));
+  } else if (method == "comp") {
+    holder.searcher = std::make_unique<CompDivSearcher>(g);
+  } else if (method == "core") {
+    holder.searcher = std::make_unique<CoreDivSearcher>(g);
+  }
+  holder.active = holder.searcher ? holder.searcher.get()
+                  : holder.tsd
+                      ? static_cast<DiversitySearcher*>(holder.tsd.get())
+                  : holder.gct
+                      ? static_cast<DiversitySearcher*>(holder.gct.get())
+                      : nullptr;
+  return holder;
+}
+
+/// Parses a comma-separated list of non-negative integers ("4,6,8").
+std::vector<std::uint32_t> ParseUintList(const std::string& text) {
+  std::vector<std::uint32_t> values;
+  std::uint64_t current = 0;
+  bool have_digit = false;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ',') {
+      TSD_CHECK_MSG(have_digit, "bad list value: '" << text << "'");
+      values.push_back(static_cast<std::uint32_t>(current));
+      current = 0;
+      have_digit = false;
+    } else {
+      TSD_CHECK_MSG(text[i] >= '0' && text[i] <= '9',
+                    "bad list value: '" << text << "'");
+      current = current * 10 + (text[i] - '0');
+      TSD_CHECK_MSG(current <= UINT32_MAX,
+                    "list value out of range: '" << text << "'");
+      have_digit = true;
+    }
+  }
+  return values;
 }
 
 int RunStats(const Graph& g) {
@@ -105,32 +174,73 @@ int RunTopR(const Graph& g, const Flags& flags) {
   const auto r = static_cast<std::uint32_t>(flags.GetInt("r", 10));
   const std::string method = flags.GetString("method", "gct");
 
-  std::unique_ptr<DiversitySearcher> searcher;
-  std::unique_ptr<TsdIndex> tsd;
-  std::unique_ptr<GctIndex> gct;
-  if (method == "online") {
-    searcher = std::make_unique<OnlineSearcher>(g);
-  } else if (method == "bound") {
-    searcher = std::make_unique<BoundSearcher>(g);
-  } else if (method == "tsd") {
-    tsd = std::make_unique<TsdIndex>(TsdIndex::Build(g));
-  } else if (method == "gct") {
-    gct = std::make_unique<GctIndex>(GctIndex::Build(g));
-  } else if (method == "comp") {
-    searcher = std::make_unique<CompDivSearcher>(g);
-  } else if (method == "core") {
-    searcher = std::make_unique<CoreDivSearcher>(g);
-  } else {
-    return Usage();
+  SearcherHolder holder = MakeSearcher(g, method);
+  if (holder.active == nullptr) return Usage();
+  holder.active->set_query_options(QueryOptionsFromFlags(flags));
+  std::cout << "method: " << holder.active->name() << " k=" << k
+            << " r=" << r << "\n";
+  PrintTopR(
+      holder.active->TopR(std::min<std::uint32_t>(r, g.num_vertices()), k),
+      flags.GetBool("contexts", false));
+  return 0;
+}
+
+int RunBatch(const Graph& g, const Flags& flags) {
+  TSD_CHECK_MSG(flags.Has("k"), "batch requires --k=<k1,k2,...>");
+  const std::vector<std::uint32_t> ks =
+      ParseUintList(flags.GetString("k", ""));
+  const std::vector<std::uint32_t> rs =
+      ParseUintList(flags.GetString("r", "10"));
+  TSD_CHECK_MSG(rs.size() == 1 || rs.size() == ks.size(),
+                "--r must be one value or one per --k entry");
+
+  std::vector<BatchQuery> queries;
+  queries.reserve(ks.size());
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    BatchQuery query;
+    query.k = ks[i];
+    query.r = std::min<std::uint32_t>(rs.size() == 1 ? rs[0] : rs[i],
+                                      g.num_vertices());
+    queries.push_back(query);
   }
-  DiversitySearcher* active = searcher ? searcher.get()
-                              : tsd    ? static_cast<DiversitySearcher*>(tsd.get())
-                                       : static_cast<DiversitySearcher*>(gct.get());
-  active->set_query_options(QueryOptionsFromFlags(flags));
-  std::cout << "method: " << active->name() << " k=" << k << " r=" << r
-            << "\n";
-  PrintTopR(active->TopR(std::min<std::uint32_t>(r, g.num_vertices()), k),
-            flags.GetBool("contexts", false));
+
+  SearcherHolder holder = MakeSearcher(g, flags.GetString("method", "gct"));
+  if (holder.active == nullptr) return Usage();
+  holder.active->set_query_options(QueryOptionsFromFlags(flags));
+  std::cout << "method: " << holder.active->name() << " batch of "
+            << queries.size() << " queries\n";
+
+  const std::vector<TopRResult> results = holder.active->SearchBatch(queries);
+  const bool contexts = flags.GetBool("contexts", false);
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    std::cout << "\nquery " << q + 1 << ": k=" << queries[q].k
+              << " r=" << queries[q].r << "\n";
+    PrintTopR(results[q], contexts, /*with_stats=*/false);
+  }
+  if (!results.empty()) {
+    // Amortized searchers stamp every query with the shared per-batch
+    // stats; the default per-query loop reports distinct stats, which sum
+    // to the batch totals. Print one accurate line either way.
+    bool shared = true;
+    std::uint64_t scanned = results[0].stats.vertices_scored;
+    double seconds = results[0].stats.total_seconds;
+    for (std::size_t q = 1; q < results.size(); ++q) {
+      shared = shared &&
+               results[q].stats.vertices_scored ==
+                   results[0].stats.vertices_scored &&
+               results[q].stats.total_seconds ==
+                   results[0].stats.total_seconds;
+      scanned += results[q].stats.vertices_scored;
+      seconds += results[q].stats.total_seconds;
+    }
+    if (shared) {
+      scanned = results[0].stats.vertices_scored;
+      seconds = results[0].stats.total_seconds;
+    }
+    std::cerr << "batch search space: " << scanned
+              << " vertices, threads: " << results[0].stats.threads_used
+              << ", time: " << HumanSeconds(seconds) << "\n";
+  }
   return 0;
 }
 
@@ -232,6 +342,7 @@ int Run(int argc, char** argv) {
     const Graph g = LoadEdgeListText(flags.positional()[1]);
     if (command == "stats") return RunStats(g);
     if (command == "topr") return RunTopR(g, flags);
+    if (command == "batch") return RunBatch(g, flags);
     if (command == "score") return RunScore(g, flags);
     if (command == "build") return RunBuild(g, flags);
   } catch (const CheckError& e) {
