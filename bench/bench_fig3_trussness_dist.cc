@@ -19,6 +19,9 @@ int Run(int argc, char** argv) {
   const std::string scale = flags.BenchScale();
   const std::uint32_t sparsify_k =
       static_cast<std::uint32_t>(flags.GetInt("k", 5));
+  // --threads=N parallelizes each dataset's global truss decomposition
+  // (histograms are identical at any thread count).
+  const ParallelConfig config = ToParallelConfig(QueryOptionsFromFlags(flags));
   bench::PrintHeader("Figure 3", "edge trussness distribution", scale);
 
   const std::vector<std::string> datasets = {"wiki-vote", "email-enron",
@@ -32,7 +35,7 @@ int Run(int argc, char** argv) {
   double removed_vertices_fraction = 0;
   for (const auto& name : datasets) {
     const Graph g = MakeDataset(name, scale);
-    TrussDecomposition td(g);
+    TrussDecomposition td(g, config);
     histograms.push_back(td.TrussnessHistogram());
     max_t = std::max(max_t, td.max_trussness());
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -20,8 +21,26 @@ namespace tsd {
 ///   order_   : element ids sorted by current key (ascending)
 ///   pos_     : position of each element in order_
 ///   bucket_  : first position of each key value
+///
+/// Capacity is 32-bit: ids, positions, and bucket boundaries are all
+/// std::uint32_t, so the queue holds at most 2^32 - 1 elements (enough for
+/// any EdgeId-indexed peeling; Init check-fails beyond that instead of
+/// silently truncating).
 class BucketQueue {
  public:
+  /// Largest element count Init accepts (positions must fit in 32 bits).
+  static constexpr std::size_t kMaxElements =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Fails with CheckError if `num_elements` exceeds the 32-bit capacity.
+  /// Exposed so callers sizing up a peeling workload (and the regression
+  /// test of this guard) can validate counts without building the queue.
+  static void CheckCapacity(std::size_t num_elements) {
+    TSD_CHECK_MSG(num_elements <= kMaxElements,
+                  "BucketQueue holds at most 2^32 - 1 elements, got "
+                      << num_elements);
+  }
+
   BucketQueue() = default;
 
   /// Builds the queue from initial keys. Max key is computed internally.
@@ -29,6 +48,7 @@ class BucketQueue {
 
   void Init(const std::vector<std::uint32_t>& keys) {
     const std::size_t n = keys.size();
+    CheckCapacity(n);  // the 32-bit id loop below would never terminate
     key_ = keys;
     removed_.assign(n, false);
     max_key_ = 0;

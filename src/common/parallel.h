@@ -21,6 +21,36 @@
 
 namespace tsd {
 
+/// Thread/chunk knobs for the parallel kernels that run outside the query
+/// pipeline (triangle counting, global truss decomposition, index
+/// construction). Mirrors core's QueryOptions{num_threads, num_chunks} so
+/// searchers can forward their knobs to the preprocessing layers below
+/// without a core/ dependency.
+struct ParallelConfig {
+  /// Worker threads. 1 selects the sequential code paths.
+  std::uint32_t num_threads = 1;
+  /// Chunks the work range is split into (0 = auto: one chunk when
+  /// sequential, 8 per thread otherwise, matching the index builders and
+  /// the query pipeline).
+  std::uint32_t num_chunks = 0;
+
+  bool operator==(const ParallelConfig&) const = default;
+};
+
+/// Resolves a ParallelConfig's chunk count against a concrete work size
+/// (auto default, clamped to `total`, never 0).
+inline std::uint32_t EffectiveChunks(const ParallelConfig& config,
+                                     std::uint64_t total) {
+  std::uint32_t chunks = config.num_chunks;
+  if (chunks == 0) {
+    chunks = config.num_threads == 1 ? 1 : config.num_threads * 8;
+  }
+  if (total > 0 && chunks > total) {
+    chunks = static_cast<std::uint32_t>(total);
+  }
+  return std::max(1U, chunks);
+}
+
 /// Invokes fn(worker_index, chunk_index, begin, end) for `num_chunks`
 /// contiguous ranges covering [0, total), using `num_threads` workers.
 /// worker_index identifies the executing worker in [0, num_threads), which

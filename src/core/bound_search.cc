@@ -8,23 +8,24 @@
 #include "core/scoring.h"
 #include "core/top_r_collector.h"
 #include "truss/k_truss.h"
-#include "truss/triangle.h"
+#include "truss/parallel_truss.h"
 #include "truss/truss_decomposition.h"
 
 namespace tsd {
 
 std::uint32_t BoundSearcher::UpperBound(std::uint32_t degree,
-                                        std::uint32_t m_v, std::uint32_t k) {
+                                        std::uint64_t m_v, std::uint32_t k) {
   const std::uint64_t min_context_edges =
       static_cast<std::uint64_t>(k) * (k - 1) / 2;
-  const std::uint32_t by_vertices = degree / k;
-  const std::uint32_t by_edges =
-      static_cast<std::uint32_t>(m_v / min_context_edges);
-  return std::min(by_vertices, by_edges);
+  const std::uint64_t by_vertices = degree / k;
+  const std::uint64_t by_edges = m_v / min_context_edges;
+  // The minimum is bounded by degree/k, so it always fits 32 bits; taking
+  // it in 64 bits first is what keeps a >2^32 ego edge count from wrapping.
+  return static_cast<std::uint32_t>(std::min(by_vertices, by_edges));
 }
 
 std::vector<std::uint32_t> BoundSearcher::UpperBounds(
-    const Graph& graph, const std::vector<std::uint32_t>& ego_edge_counts,
+    const Graph& graph, const std::vector<std::uint64_t>& ego_edge_counts,
     std::uint32_t k) {
   TSD_CHECK(k >= 2);
   std::vector<std::uint32_t> bounds(graph.num_vertices());
@@ -50,11 +51,15 @@ TopRResult BoundSearcher::TopR(std::uint32_t r, std::uint32_t k) {
   std::vector<std::uint32_t> bounds;
   {
     ScopedTimer t(&result.stats.preprocess_seconds);
-    TrussDecomposition truss(graph_);
+    // The global decomposition and m_v counts run on the same thread knobs
+    // as the scan phases (the preprocess was the last serial fraction).
+    const ParallelConfig config = ToParallelConfig(query_options());
+    TrussDecomposition truss(graph_, config);
     // Property 1: only edges with τ_G(e) ≥ k+1 can contribute.
     reduced = KTrussSubgraph(graph_, truss.edge_trussness(), k + 1);
     pipeline.Rebind(reduced);
-    const std::vector<std::uint32_t> ego_edges = TrianglesPerVertex(reduced);
+    const std::vector<std::uint64_t> ego_edges =
+        TrianglesPerVertex(reduced, config);
     pipeline.MapScores(reduced.num_vertices(), &bounds,
                        [&](QueryWorkspace&, VertexId v) {
                          return UpperBound(reduced.degree(v), ego_edges[v], k);
@@ -118,7 +123,7 @@ std::vector<TopRResult> BoundSearcher::SearchBatch(
   Graph reduced;
   {
     ScopedTimer t(&stats.preprocess_seconds);
-    TrussDecomposition truss(graph_);
+    TrussDecomposition truss(graph_, ToParallelConfig(query_options()));
     reduced = KTrussSubgraph(graph_, truss.edge_trussness(), k_min + 1);
     pipeline.Rebind(reduced);
   }

@@ -13,6 +13,9 @@
 // The bound-computation, exact-verification, and context phases all run on
 // the shared QueryPipeline; with num_threads > 1 the early termination
 // happens at round granularity (rankings unchanged, see query_pipeline.h).
+// The preprocessing phase (global truss decomposition + m_v counts) runs on
+// the same thread knobs via truss/parallel_truss.h — bit-identical at any
+// thread count, since trussness is unique.
 #pragma once
 
 #include <cstdint>
@@ -44,15 +47,17 @@ class BoundSearcher : public DiversitySearcher {
   std::string name() const override { return "bound"; }
 
   /// The Lemma 2 upper bound of one vertex with degree `degree` and `m_v`
-  /// ego edges.
-  static std::uint32_t UpperBound(std::uint32_t degree, std::uint32_t m_v,
+  /// ego edges. `m_v` is 64-bit (a dense hub's ego edge count overflows 32
+  /// bits) and the division happens before any narrowing, so the bound
+  /// never wraps.
+  static std::uint32_t UpperBound(std::uint32_t degree, std::uint64_t m_v,
                                   std::uint32_t k);
 
   /// The Lemma 2 upper bounds for every vertex of `graph` (exposed for
   /// tests and the ablation benchmarks). `ego_edge_counts` is m_v per
   /// vertex, e.g. from TrianglesPerVertex.
   static std::vector<std::uint32_t> UpperBounds(
-      const Graph& graph, const std::vector<std::uint32_t>& ego_edge_counts,
+      const Graph& graph, const std::vector<std::uint64_t>& ego_edge_counts,
       std::uint32_t k);
 
  private:

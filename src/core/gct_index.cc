@@ -199,12 +199,15 @@ GctIndex GctIndex::Build(const Graph& graph, const Options& options) {
   std::unique_ptr<GlobalEgoNetworks> global;
   if (options.use_global_listing) {
     WallTimer listing;
-    global = std::make_unique<GlobalEgoNetworks>(graph);
+    // The listing's triangle passes run on the build workers too (it used
+    // to be the build's sequential prologue).
+    global = std::make_unique<GlobalEgoNetworks>(
+        graph, ParallelConfig{options.num_threads, 0});
     index.build_stats_.extraction_seconds += listing.Seconds();
   }
 
   const std::uint32_t num_chunks =
-      options.num_threads == 1 ? 1 : options.num_threads * 8;
+      EffectiveChunks(ParallelConfig{options.num_threads, 0}, n);
   std::vector<GctChunk> chunks(num_chunks);
 
   ParallelForChunks(

@@ -27,7 +27,8 @@ HybridSearcher::HybridSearcher(const Graph& graph, const GctIndex& index,
   // the library total order (score desc, id asc), which is total on the
   // unique vertices, so the rankings are bit-identical at any thread count.
   using Ranking = std::vector<std::pair<VertexId, std::uint32_t>>;
-  const std::uint32_t num_chunks = num_threads == 1 ? 1 : num_threads * 8;
+  const std::uint32_t num_chunks = EffectiveChunks(
+      ParallelConfig{num_threads, 0}, graph.num_vertices());
   std::vector<std::vector<Ranking>> chunks(num_chunks);
   ParallelForChunks(
       graph.num_vertices(), num_chunks, num_threads,

@@ -49,16 +49,9 @@ void QueryPipeline::Rebind(const Graph& graph) {
 }
 
 std::uint32_t QueryPipeline::ResolveChunks(std::uint64_t total) const {
-  std::uint32_t chunks = options_.num_chunks;
-  if (chunks == 0) {
-    // Auto: match the index builders — one chunk when sequential, 8 per
-    // thread otherwise for cheap dynamic load balancing.
-    chunks = options_.num_threads == 1 ? 1 : options_.num_threads * 8;
-  }
-  if (total > 0 && chunks > total) {
-    chunks = static_cast<std::uint32_t>(total);
-  }
-  return std::max(1U, chunks);
+  // One shared auto-chunk rule (common/parallel.h) keeps pipeline chunking
+  // in lock-step with the index builders and the preprocessing kernels.
+  return EffectiveChunks(ToParallelConfig(options_), total);
 }
 
 void QueryPipeline::MergeInto(std::vector<TopRCollector>& locals,

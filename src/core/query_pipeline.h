@@ -204,6 +204,13 @@ class PipelineCache {
 /// tsdtool and every query benchmark; values clamped to sane ranges).
 QueryOptions QueryOptionsFromFlags(const Flags& flags);
 
+/// The preprocessing-layer view of the same knobs: graph/truss kernels
+/// (global truss decomposition, triangle counting, the global ego listing)
+/// take a common/ ParallelConfig so they stay below core/ in the layering.
+inline ParallelConfig ToParallelConfig(const QueryOptions& options) {
+  return ParallelConfig{options.num_threads, options.num_chunks};
+}
+
 // ---------------------------------------------------------------------------
 // Template implementations.
 

@@ -42,7 +42,7 @@ TsdIndex TsdIndex::Build(const Graph& graph, const Options& options) {
   index.offsets_.assign(n + 1, 0);
 
   const std::uint32_t num_chunks =
-      options.num_threads == 1 ? 1 : options.num_threads * 8;
+      EffectiveChunks(ParallelConfig{options.num_threads, 0}, n);
   std::vector<TsdChunk> chunks(num_chunks);
 
   ParallelForChunks(

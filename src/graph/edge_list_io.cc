@@ -1,6 +1,7 @@
 #include "graph/edge_list_io.h"
 
 #include <cstdint>
+#include <cstdlib>  // strtoull / strtod (was relied on transitively)
 #include <fstream>
 
 #include "common/check.h"
@@ -11,6 +12,11 @@ namespace {
 
 constexpr std::uint32_t kGraphMagic = 0x47445354;  // "TSDG"
 constexpr std::uint32_t kGraphVersion = 1;
+
+const char* SkipSpace(const char* p) {
+  while (*p == ' ' || *p == '\t' || *p == '\r') ++p;
+  return p;
+}
 
 }  // namespace
 
@@ -38,6 +44,18 @@ Graph LoadEdgeListText(const std::string& path) {
     TSD_CHECK_MSG(end != p, "parse error at " << path << ":" << line_number);
     TSD_CHECK_MSG(u < kInvalidVertex && v < kInvalidVertex,
                   "vertex id overflow at " << path << ":" << line_number);
+    // Anything after the two ids must be an optional numeric weight column
+    // (loadable but ignored — the graph model is unweighted) followed by
+    // whitespace. A malformed tail like "1 2x7" used to be silently
+    // accepted as the edge (1, 2); reject it with the offending line.
+    p = SkipSpace(end);
+    if (*p != '\0') {
+      std::strtod(p, &end);
+      TSD_CHECK_MSG(end != p && *SkipSpace(end) == '\0',
+                    "trailing garbage after edge at " << path << ":"
+                                                      << line_number << ": '"
+                                                      << line << "'");
+    }
     builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
   }
   return builder.Build();

@@ -12,8 +12,11 @@
 namespace tsd {
 
 /// Loads a SNAP-style text edge list. Throws CheckError on parse errors or
-/// unreadable files. Vertex ids must be non-negative integers; they are used
-/// verbatim, so sparse id spaces produce isolated vertices.
+/// unreadable files — including trailing garbage after the ids ("1 2x7"),
+/// reported with the offending line number. Vertex ids must be non-negative
+/// integers; they are used verbatim, so sparse id spaces produce isolated
+/// vertices. An optional numeric third column (edge weight) is accepted and
+/// ignored, so weighted edge lists stay loadable.
 Graph LoadEdgeListText(const std::string& path);
 
 /// Writes "u v" lines with a comment header.

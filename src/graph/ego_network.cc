@@ -4,7 +4,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
-#include "truss/triangle.h"
+#include "truss/parallel_truss.h"
 
 namespace tsd {
 
@@ -86,57 +86,37 @@ void EgoNetworkExtractor::ExtractInto(VertexId v, EgoNetwork* out) {
   for (VertexId member : out->members) local_id_[member] = 0;
 }
 
-GlobalEgoNetworks::GlobalEgoNetworks(const Graph& graph) : graph_(graph) {
+GlobalEgoNetworks::GlobalEgoNetworks(const Graph& graph,
+                                     const ParallelConfig& config)
+    : graph_(graph) {
   WallTimer timer;
   const VertexId n = graph.num_vertices();
 
-  // One forward-adjacency structure drives both the counting pass and the
-  // fill pass (building it dominates small-graph listing cost).
-  const internal::ForwardAdjacency fwd(graph);
-  auto for_each_triangle = [&](auto&& fn) {
-    for (VertexId u = 0; u < n; ++u) {
-      const auto begin_u = fwd.offsets[u];
-      const auto end_u = fwd.offsets[u + 1];
-      for (auto i = begin_u; i < end_u; ++i) {
-        const VertexId v = fwd.neighbors[i];
-        auto pu = i + 1;
-        auto pv = fwd.offsets[v];
-        const auto end_v = fwd.offsets[v + 1];
-        while (pu < end_u && pv < end_v) {
-          const std::uint32_t ru = fwd.neighbor_ranks[pu];
-          const std::uint32_t rv = fwd.neighbor_ranks[pv];
-          if (ru < rv) {
-            ++pu;
-          } else if (ru > rv) {
-            ++pv;
-          } else {
-            fn(u, v, fwd.neighbors[pu]);
-            ++pu;
-            ++pv;
-          }
-        }
-      }
-    }
-  };
+  // One forward-adjacency structure (built on config's workers) drives both
+  // the counting pass and the fill pass (building it dominates small-graph
+  // listing cost).
+  const internal::ForwardAdjacency fwd(graph, config);
 
-  // Pass 1: count ego edges per center (= triangles per vertex).
-  std::vector<std::uint32_t> counts(n, 0);
-  for_each_triangle([&](VertexId u, VertexId v, VertexId w) {
-    ++counts[u];
-    ++counts[v];
-    ++counts[w];
-  });
+  // Pass 1: count ego edges per center (= triangles per vertex; 64-bit —
+  // a dense degree-93k hub overflows a 32-bit counter), on the shared
+  // kernel so the fill pass below reuses the same forward adjacency.
+  const std::vector<std::uint64_t> counts =
+      internal::TrianglesPerVertexFromForward(fwd, n, config);
   offsets_.assign(n + 1, 0);
   for (VertexId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + counts[v];
 
-  // Pass 2: distribute each triangle to its three ego-networks.
+  // Pass 2: distribute each triangle to its three ego-networks. Sequential:
+  // three shared cursors advance per triangle, and keeping this pass
+  // single-threaded keeps every slice's listing order deterministic.
   ego_edges_.resize(offsets_[n]);
   std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for_each_triangle([&](VertexId u, VertexId v, VertexId w) {
-    ego_edges_[cursor[w]++] = Edge{std::min(u, v), std::max(u, v)};
-    ego_edges_[cursor[v]++] = Edge{std::min(u, w), std::max(u, w)};
-    ego_edges_[cursor[u]++] = Edge{std::min(v, w), std::max(v, w)};
-  });
+  internal::ForEachTriangleInRange(
+      fwd, 0, n,
+      [&](VertexId u, VertexId v, VertexId w, EdgeId, EdgeId, EdgeId) {
+        ego_edges_[cursor[w]++] = Edge{std::min(u, v), std::max(u, v)};
+        ego_edges_[cursor[v]++] = Edge{std::min(u, w), std::max(u, w)};
+        ego_edges_[cursor[u]++] = Edge{std::min(v, w), std::max(v, w)};
+      });
   listing_seconds_ = timer.Seconds();
 }
 

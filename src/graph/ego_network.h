@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 
 namespace tsd {
@@ -90,7 +91,12 @@ class EgoNetworkExtractor {
 /// ego edges of G_N(w) (as global-id pairs). Total storage is 3T edge slots.
 class GlobalEgoNetworks {
  public:
-  explicit GlobalEgoNetworks(const Graph& graph);
+  /// Lists all triangles and groups them by center. With
+  /// `config.num_threads > 1` the forward-adjacency build and the counting
+  /// pass run on worker threads (the distribution pass stays sequential so
+  /// each ego slice keeps its deterministic listing order).
+  explicit GlobalEgoNetworks(const Graph& graph,
+                             const ParallelConfig& config = {});
 
   /// Ego edges of G_N(v) as global-id pairs (u < w, unordered list).
   std::span<const Edge> EgoEdges(VertexId v) const {

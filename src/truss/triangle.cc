@@ -1,15 +1,30 @@
 #include "truss/triangle.h"
 
 #include <algorithm>
-#include <numeric>
 
 namespace tsd {
 namespace internal {
+namespace {
 
-ForwardAdjacency::ForwardAdjacency(const Graph& graph) {
+// One forward-adjacency slot staged for the per-slice sort. Ranks are a
+// permutation of [0, n), so sorting by rank alone is a total order.
+struct ForwardEntry {
+  std::uint32_t rank;
+  VertexId neighbor;
+  EdgeId edge;
+};
+
+}  // namespace
+
+ForwardAdjacency::ForwardAdjacency(const Graph& graph,
+                                   const ParallelConfig& config) {
   const VertexId n = graph.num_vertices();
+  const std::uint32_t num_threads = std::max(1U, config.num_threads);
+  const std::uint32_t num_chunks = EffectiveChunks(config, n);
 
-  // Degree order: rank by (degree, id). Counting sort on degree.
+  // Degree order: rank by (degree, id). Counting sort on degree. O(n), and
+  // the in-degree-class assignment is order-dependent, so this stays
+  // sequential; the O(m)/O(m log) phases below are the parallel ones.
   rank.resize(n);
   {
     std::vector<std::uint32_t> count(graph.max_degree() + 2, 0);
@@ -19,51 +34,56 @@ ForwardAdjacency::ForwardAdjacency(const Graph& graph) {
     for (VertexId v = 0; v < n; ++v) rank[v] = count[graph.degree(v)]++;
   }
 
+  // Per-vertex forward-degree counts: each vertex owns its offsets slot.
   offsets.assign(n + 1, 0);
-  for (VertexId v = 0; v < n; ++v) {
-    std::uint64_t forward = 0;
-    for (VertexId u : graph.neighbors(v)) {
-      if (rank[u] > rank[v]) ++forward;
-    }
-    offsets[v + 1] = offsets[v] + forward;
-  }
+  ParallelForChunksIndexed(
+      n, num_chunks, num_threads,
+      [&](std::uint32_t /*worker*/, std::uint32_t /*chunk*/,
+          std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t v = begin; v < end; ++v) {
+          std::uint64_t forward = 0;
+          for (VertexId u : graph.neighbors(static_cast<VertexId>(v))) {
+            if (rank[u] > rank[v]) ++forward;
+          }
+          offsets[v + 1] = forward;
+        }
+      });
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
 
+  // Fill and rank-sort each vertex's forward slice. Slices are disjoint, so
+  // chunks write without coordination; one staging buffer per worker keeps
+  // the loop allocation-free in the steady state.
   const std::uint64_t total = offsets[n];
   neighbors.resize(total);
   edge_ids.resize(total);
   neighbor_ranks.resize(total);
-  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
-  for (VertexId v = 0; v < n; ++v) {
-    const auto nbrs = graph.neighbors(v);
-    const auto eids = graph.incident_edges(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (rank[nbrs[i]] > rank[v]) {
-        const auto pos = cursor[v]++;
-        neighbors[pos] = nbrs[i];
-        edge_ids[pos] = eids[i];
-        neighbor_ranks[pos] = rank[nbrs[i]];
-      }
-    }
-    // Sort this vertex's forward slice by rank.
-    const auto begin = offsets[v];
-    const auto end = offsets[v + 1];
-    std::vector<std::size_t> order(end - begin);
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return neighbor_ranks[begin + a] < neighbor_ranks[begin + b];
-    });
-    std::vector<VertexId> tmp_n(end - begin);
-    std::vector<EdgeId> tmp_e(end - begin);
-    std::vector<std::uint32_t> tmp_r(end - begin);
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      tmp_n[i] = neighbors[begin + order[i]];
-      tmp_e[i] = edge_ids[begin + order[i]];
-      tmp_r[i] = neighbor_ranks[begin + order[i]];
-    }
-    std::copy(tmp_n.begin(), tmp_n.end(), neighbors.begin() + begin);
-    std::copy(tmp_e.begin(), tmp_e.end(), edge_ids.begin() + begin);
-    std::copy(tmp_r.begin(), tmp_r.end(), neighbor_ranks.begin() + begin);
-  }
+  std::vector<std::vector<ForwardEntry>> staging(num_threads);
+  ParallelForChunksIndexed(
+      n, num_chunks, num_threads,
+      [&](std::uint32_t worker, std::uint32_t /*chunk*/, std::uint64_t begin,
+          std::uint64_t end) {
+        std::vector<ForwardEntry>& buffer = staging[worker];
+        for (std::uint64_t v = begin; v < end; ++v) {
+          const auto nbrs = graph.neighbors(static_cast<VertexId>(v));
+          const auto eids = graph.incident_edges(static_cast<VertexId>(v));
+          buffer.clear();
+          for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            if (rank[nbrs[i]] > rank[v]) {
+              buffer.push_back({rank[nbrs[i]], nbrs[i], eids[i]});
+            }
+          }
+          std::sort(buffer.begin(), buffer.end(),
+                    [](const ForwardEntry& a, const ForwardEntry& b) {
+                      return a.rank < b.rank;
+                    });
+          const std::uint64_t slice = offsets[v];
+          for (std::size_t i = 0; i < buffer.size(); ++i) {
+            neighbors[slice + i] = buffer[i].neighbor;
+            edge_ids[slice + i] = buffer[i].edge;
+            neighbor_ranks[slice + i] = buffer[i].rank;
+          }
+        }
+      });
 }
 
 }  // namespace internal
@@ -87,8 +107,8 @@ std::vector<std::uint32_t> ComputeSupport(const Graph& graph) {
   return support;
 }
 
-std::vector<std::uint32_t> TrianglesPerVertex(const Graph& graph) {
-  std::vector<std::uint32_t> count(graph.num_vertices(), 0);
+std::vector<std::uint64_t> TrianglesPerVertex(const Graph& graph) {
+  std::vector<std::uint64_t> count(graph.num_vertices(), 0);
   ForEachTriangle(graph, [&](VertexId u, VertexId v, VertexId w, EdgeId,
                              EdgeId, EdgeId) {
     ++count[u];

@@ -6,11 +6,17 @@
 // computation (Algorithm 1, line 1), the ego-network edge counts m_v used by
 // the Lemma 2 upper bound, and the one-shot global ego-network extraction of
 // Section 6.2.
+//
+// The entry points here are the sequential kernels; the multi-threaded
+// variants (per-worker accumulation over the same ForwardAdjacency, merged
+// deterministically) live in truss/parallel_truss.h.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 
 namespace tsd {
@@ -23,8 +29,10 @@ std::vector<std::uint32_t> ComputeSupport(const Graph& graph);
 
 /// Number of triangles through each vertex. This equals m_v, the edge count
 /// of the ego-network G_N(v) (each ego edge (u,w) of v is the triangle
-/// (v,u,w)).
-std::vector<std::uint32_t> TrianglesPerVertex(const Graph& graph);
+/// (v,u,w)). Counts are 64-bit: a vertex of degree d sits in up to
+/// C(d, 2) triangles, which overflows 32 bits for d ≳ 93k in a dense
+/// community.
+std::vector<std::uint64_t> TrianglesPerVertex(const Graph& graph);
 
 /// Enumerates every triangle exactly once. The callback receives the three
 /// corner vertices and the ids of the three edges:
@@ -38,9 +46,14 @@ namespace internal {
 
 /// Degree-ordered forward adjacency: for each vertex, the neighbors that
 /// come later in the (degree, id) order, sorted by that order. Shared by the
-/// triangle kernels above.
+/// triangle kernels above. With `config.num_threads > 1` the per-vertex
+/// counting, slice fill, and slice sorting run on worker threads; ranks are
+/// a permutation (unique sort keys), so the arrays are bit-identical to the
+/// sequential build at any thread count.
 struct ForwardAdjacency {
-  explicit ForwardAdjacency(const Graph& graph);
+  explicit ForwardAdjacency(const Graph& graph)
+      : ForwardAdjacency(graph, ParallelConfig{}) {}
+  ForwardAdjacency(const Graph& graph, const ParallelConfig& config);
 
   std::vector<std::uint32_t> rank;       // position in degree order
   std::vector<std::uint64_t> offsets;    // size n+1
@@ -49,13 +62,13 @@ struct ForwardAdjacency {
   std::vector<std::uint32_t> neighbor_ranks;  // parallel, = rank[neighbor]
 };
 
-}  // namespace internal
-
+/// Enumerates every triangle whose lowest-ranked corner u lies in
+/// [u_begin, u_end) — the unit of work the parallel kernels hand to each
+/// chunk. ForEachTriangle is the [0, n) instantiation.
 template <typename Fn>
-void ForEachTriangle(const Graph& graph, Fn&& fn) {
-  const internal::ForwardAdjacency fwd(graph);
-  const VertexId n = graph.num_vertices();
-  for (VertexId u = 0; u < n; ++u) {
+void ForEachTriangleInRange(const ForwardAdjacency& fwd, VertexId u_begin,
+                            VertexId u_end, Fn&& fn) {
+  for (VertexId u = u_begin; u < u_end; ++u) {
     const auto begin_u = fwd.offsets[u];
     const auto end_u = fwd.offsets[u + 1];
     for (auto i = begin_u; i < end_u; ++i) {
@@ -81,6 +94,15 @@ void ForEachTriangle(const Graph& graph, Fn&& fn) {
       }
     }
   }
+}
+
+}  // namespace internal
+
+template <typename Fn>
+void ForEachTriangle(const Graph& graph, Fn&& fn) {
+  const internal::ForwardAdjacency fwd(graph);
+  internal::ForEachTriangleInRange(fwd, 0, graph.num_vertices(),
+                                   std::forward<Fn>(fn));
 }
 
 }  // namespace tsd

@@ -2,22 +2,16 @@
 
 #include <algorithm>
 
-#include "truss/peeling.h"
-#include "truss/triangle.h"
+#include "truss/parallel_truss.h"
 
 namespace tsd {
 
-TrussDecomposition::TrussDecomposition(const Graph& graph) {
-  std::vector<std::uint32_t> support = ComputeSupport(graph);
-
-  // Adapt the graph's CSR arrays to the shared peeling kernel.
-  CsrView<std::uint64_t> view;
-  view.num_vertices = graph.num_vertices();
-  view.edges = graph.edges();
-  view.offsets = graph.offsets();
-  view.adj = graph.adjacency();
-  view.adj_edge_ids = graph.adjacency_edge_ids();
-  edge_trussness_ = PeelSupportToTrussness(view, std::move(support));
+TrussDecomposition::TrussDecomposition(const Graph& graph,
+                                       const ParallelConfig& config) {
+  // Both kernels route to the sequential implementations at 1 thread; at
+  // higher thread counts the result is identical (trussness is unique).
+  std::vector<std::uint32_t> support = ComputeSupport(graph, config);
+  edge_trussness_ = TrussnessFromSupport(graph, std::move(support), config);
 
   vertex_trussness_.assign(graph.num_vertices(), 0);
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {

@@ -5,11 +5,18 @@
 // edges with trussness ≥ k. Also derives vertex trussness (the max over
 // incident edges), used by graph sparsification and GCT supernode
 // initialization.
+//
+// Construction accepts a ParallelConfig: with num_threads > 1 both the
+// support computation and the peel run on the frontier-parallel kernels of
+// truss/parallel_truss.h; trussness is unique, so the result is
+// bit-identical to the sequential decomposition at any thread count. The
+// default (1 thread) is the sequential Wang–Cheng path.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "graph/graph.h"
 
 namespace tsd {
@@ -17,7 +24,11 @@ namespace tsd {
 class TrussDecomposition {
  public:
   /// Runs support computation + peeling on construction. O(ρ·m) time.
-  explicit TrussDecomposition(const Graph& graph);
+  explicit TrussDecomposition(const Graph& graph)
+      : TrussDecomposition(graph, ParallelConfig{}) {}
+
+  /// Same decomposition on `config.num_threads` workers (bit-identical).
+  TrussDecomposition(const Graph& graph, const ParallelConfig& config);
 
   /// Trussness of edge e (≥ 2 for every edge).
   std::uint32_t trussness(EdgeId e) const { return edge_trussness_[e]; }

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <numeric>
 #include <random>
 #include <vector>
@@ -194,6 +195,22 @@ TEST(BucketQueueTest, ClampPreventsDecreaseBelowFloor) {
   EXPECT_EQ(q.Key(0), 2u);
   q.DecreaseKeyClamped(1, 2);
   EXPECT_EQ(q.Key(1), 4u);
+}
+
+// Regression test for the 32-bit capacity guard: Init's id loop and the
+// pos_/order_/head_ arrays are all std::uint32_t, so element counts beyond
+// 2^32 - 1 used to hang (the uint32 loop variable can never reach n) and
+// truncate. The guard must fire instead. Allocating 2^32 keys is not
+// unit-test material, so the guard is exercised through the same
+// CheckCapacity entry point Init calls.
+TEST(BucketQueueTest, CapacityGuardRejectsCountsBeyond32Bits) {
+  EXPECT_EQ(BucketQueue::kMaxElements,
+            std::numeric_limits<std::uint32_t>::max());
+  EXPECT_NO_THROW(BucketQueue::CheckCapacity(0));
+  EXPECT_NO_THROW(BucketQueue::CheckCapacity(BucketQueue::kMaxElements));
+  EXPECT_THROW(BucketQueue::CheckCapacity(BucketQueue::kMaxElements + 1),
+               CheckError);
+  EXPECT_THROW(BucketQueue::CheckCapacity(std::size_t{1} << 33), CheckError);
 }
 
 // Simulates a peeling workload and checks against a naive priority model.

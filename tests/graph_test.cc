@@ -154,6 +154,49 @@ TEST_F(EdgeListIoTest, RejectsGarbageLines) {
   std::filesystem::remove(path);
 }
 
+// Regression: "1 2x7" used to load silently as the edge (1, 2) — any
+// non-numeric tail after the second id was ignored. Such lines must fail
+// with a line-numbered parse error now.
+TEST_F(EdgeListIoTest, RejectsTrailingGarbageAfterIds) {
+  const std::string path = TempPath("tsd_graph_trailing.txt");
+  for (const char* line : {"1 2x7", "1 2 junk", "1 2 3 4", "1 2 1.5suffix"}) {
+    {
+      std::ofstream out(path);
+      out << "0 1\n" << line << "\n";
+    }
+    try {
+      LoadEdgeListText(path);
+      FAIL() << "accepted malformed line: '" << line << "'";
+    } catch (const CheckError& e) {
+      // The error names the file and the 1-based offending line.
+      EXPECT_NE(std::string(e.what()).find(":2"), std::string::npos)
+          << e.what();
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+// An optional numeric third column (edge weight) stays loadable — weighted
+// SNAP exports are common — but the weight itself is ignored.
+TEST_F(EdgeListIoTest, AcceptsOptionalWeightColumn) {
+  const std::string path = TempPath("tsd_graph_weighted.txt");
+  {
+    std::ofstream out(path);
+    out << "# weighted graph\n"
+        << "0 1 0.25\n"
+        << "1 2 17\n"
+        << "2 3 -3.5e2\n"
+        << "3 4\t1.0\r\n";
+  }
+  const Graph g = LoadEdgeListText(path);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_TRUE(g.HasEdge(3, 4));
+  std::filesystem::remove(path);
+}
+
 TEST_F(EdgeListIoTest, MissingFileThrows) {
   EXPECT_THROW(LoadEdgeListText("/nonexistent/really/not/here.txt"),
                CheckError);

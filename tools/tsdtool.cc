@@ -25,9 +25,10 @@
 #include "core/gct_index.h"
 #include "core/online_search.h"
 #include "core/tsd_index.h"
+#include "core/query_pipeline.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
-#include "truss/triangle.h"
+#include "truss/parallel_truss.h"
 #include "truss/truss_decomposition.h"
 
 namespace {
@@ -37,7 +38,7 @@ using namespace tsd;
 int Usage() {
   std::cerr <<
       "usage: tsdtool <command> [args]\n"
-      "  stats <edge-list>                         graph + trussness stats\n"
+      "  stats <edge-list> [--threads=1]           graph + trussness stats\n"
       "  topr  <edge-list> [--k=3] [--r=10] [--method=gct] [--threads=1]\n"
       "                                            top-r diversity search\n"
       "  batch <edge-list> --k=4,6,8 [--r=10] [--method=gct] [--threads=1]\n"
@@ -48,7 +49,7 @@ int Usage() {
       "                                            per-query values)\n"
       "  score <edge-list> --v=<id> [--k=3]        score + contexts of one "
       "vertex\n"
-      "  build <edge-list> --out=<file> [--index=gct]\n"
+      "  build <edge-list> --out=<file> [--index=gct] [--threads=1]\n"
       "                                            build + save an index\n"
       "  query --index-file=<file> [--index=gct] [--k=3] [--r=10] "
       "[--threads=1]\n"
@@ -58,9 +59,11 @@ int Usage() {
       "                                            generate a synthetic "
       "graph\n"
       "methods: gct tsd online bound comp core\n"
-      "--threads=N runs the query pipeline on N workers (identical output; "
-      "--chunks=M\ntunes load balancing). Results go to stdout, diagnostics "
-      "to stderr.\n";
+      "--threads=N runs the query pipeline on N workers — including the\n"
+      "preprocessing stages: the global truss decomposition behind stats and\n"
+      "the bound method, triangle counting, and index construction (build).\n"
+      "Output is identical at any thread count; --chunks=M tunes load\n"
+      "balancing. Results go to stdout, diagnostics to stderr.\n";
   return 2;
 }
 
@@ -151,11 +154,13 @@ std::vector<std::uint32_t> ParseUintList(const std::string& text) {
   return values;
 }
 
-int RunStats(const Graph& g) {
-  TrussDecomposition td(g);
+int RunStats(const Graph& g, const Flags& flags) {
+  const ParallelConfig config = ToParallelConfig(QueryOptionsFromFlags(flags));
+  TrussDecomposition td(g, config);
   TablePrinter table({"|V|", "|E|", "d_max", "T", "tau*_G"});
   table.Row(WithThousands(g.num_vertices()), WithThousands(g.num_edges()),
-            std::uint64_t{g.max_degree()}, WithThousands(CountTriangles(g)),
+            std::uint64_t{g.max_degree()},
+            WithThousands(CountTriangles(g, config)),
             std::uint64_t{td.max_trussness()});
   table.Print(std::cout);
 
@@ -265,14 +270,19 @@ int RunBuild(const Graph& g, const Flags& flags) {
   TSD_CHECK_MSG(flags.Has("out"), "build requires --out=<file>");
   const std::string out = flags.GetString("out", "");
   const std::string kind = flags.GetString("index", "gct");
+  const std::uint32_t num_threads = QueryOptionsFromFlags(flags).num_threads;
   if (kind == "tsd") {
-    TsdIndex index = TsdIndex::Build(g);
+    TsdIndex::Options options;
+    options.num_threads = num_threads;
+    TsdIndex index = TsdIndex::Build(g, options);
     index.Save(out);
     std::cout << "TSD index: " << HumanBytes(index.SizeBytes()) << " in "
               << HumanSeconds(index.build_stats().total_seconds) << " -> "
               << out << "\n";
   } else if (kind == "gct") {
-    GctIndex index = GctIndex::Build(g);
+    GctIndex::Options options;
+    options.num_threads = num_threads;
+    GctIndex index = GctIndex::Build(g, options);
     index.Save(out);
     std::cout << "GCT index: " << HumanBytes(index.SizeBytes()) << " in "
               << HumanSeconds(index.build_stats().total_seconds) << " -> "
@@ -340,7 +350,7 @@ int Run(int argc, char** argv) {
     if (command == "gen") return RunGen(flags);
     if (flags.positional().size() < 2) return Usage();
     const Graph g = LoadEdgeListText(flags.positional()[1]);
-    if (command == "stats") return RunStats(g);
+    if (command == "stats") return RunStats(g, flags);
     if (command == "topr") return RunTopR(g, flags);
     if (command == "batch") return RunBatch(g, flags);
     if (command == "score") return RunScore(g, flags);
