@@ -1,0 +1,123 @@
+// Minimal one-shot future/promise pair for the serving layer.
+//
+// std::future would also work, but the server needs exactly one behaviour —
+// a producer thread fulfills a value once, a consumer thread blocks for it —
+// and owning the ~60 lines keeps the substrate dependency-free, lets the
+// reply path move the (potentially large) TopRResult instead of copying it,
+// and gives abandonment a hard, debuggable failure mode (TSD_CHECK) instead
+// of std::future_error.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tsd {
+
+template <typename T>
+class Future;
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  std::optional<T> value;
+  bool abandoned = false;  // promise died without Set()
+};
+
+}  // namespace internal
+
+/// Producer side. Movable, not copyable; Set() may be called at most once.
+/// Destroying an unfulfilled promise marks the state abandoned, which turns
+/// a waiting Get() into a hard check failure instead of a silent hang.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+  Promise(Promise&&) noexcept = default;
+  Promise& operator=(Promise&&) noexcept = default;
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+
+  ~Promise() {
+    if (state_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!state_->value.has_value()) {
+      state_->abandoned = true;
+      state_->ready_cv.notify_all();
+    }
+  }
+
+  /// The (single) future observing this promise.
+  Future<T> GetFuture() { return Future<T>(state_); }
+
+  void Set(T value) {
+    TSD_CHECK(state_ != nullptr);
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      TSD_CHECK_MSG(!state_->value.has_value(), "promise fulfilled twice");
+      state_->value.emplace(std::move(value));
+    }
+    state_->ready_cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// Consumer side: blocks until the paired promise fulfills.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  Future(Future&&) noexcept = default;
+  Future& operator=(Future&&) noexcept = default;
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the value is available (non-blocking).
+  bool Ready() const {
+    TSD_CHECK(valid());
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->value.has_value();
+  }
+
+  /// Blocks until the value is set, then moves it out. One call only.
+  T Get() {
+    TSD_CHECK(valid());
+    // Consume the reference first so the state (and its mutex) stays alive
+    // until AFTER the lock below is released — destruction order matters:
+    // `state` outlives the scoped lock, and only then may drop the last
+    // reference.
+    std::shared_ptr<internal::FutureState<T>> state = std::move(state_);
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->ready_cv.wait(lock, [&state] {
+        return state->value.has_value() || state->abandoned;
+      });
+      TSD_CHECK_MSG(state->value.has_value(),
+                    "promise abandoned without a value");
+      out = std::move(state->value);
+      state->value.reset();
+    }
+    return std::move(*out);
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+}  // namespace tsd

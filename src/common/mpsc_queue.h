@@ -1,0 +1,117 @@
+// Unbounded multi-producer / single-consumer queue (Vyukov's intrusive
+// design) for the serving layer's submission path.
+//
+// Push is wait-free on the data path — one atomic exchange plus one release
+// store — so N client threads never contend on a lock to hand work to the
+// server. The consumer side is single-threaded by contract (the serve loop),
+// which is what lets pop run without any atomic RMW at all.
+//
+// Blocking: the queue itself never blocks. ConsumerWait() parks the consumer
+// until a producer signals; producers acquire the (otherwise uncontended)
+// wake mutex only to publish the wake-up, never around the data path. The
+// empty critical section in NotifyOne() is what closes the classic lost
+// wake-up race: a producer that pushes between the consumer's empty check
+// and its wait must then wait for the consumer to release the mutex (i.e. to
+// actually be inside wait), so its notification cannot be missed.
+//
+// Per-producer FIFO order is preserved; orders from different producers
+// interleave arbitrarily (which is fine: the serve loop's replies are a pure
+// function of each request, not of arrival order).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tsd {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  ~MpscQueue() {
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues a value. Safe to call from any number of threads.
+  void Push(T value) {
+    Node* node = new Node(std::move(value));
+    // Publish the node: swing head, then link the predecessor to it. Between
+    // the two steps the chain is momentarily broken; TryPop treats that as
+    // empty and the producer's NotifyOne() below re-arms the consumer.
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+    NotifyOne();
+  }
+
+  /// Dequeues into *out. Single consumer only. Returns false when the queue
+  /// is empty (or a push is mid-flight; the producer's notify covers that).
+  bool TryPop(T* out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    TSD_DCHECK(next->value.has_value());
+    *out = std::move(*next->value);
+    next->value.reset();
+    tail_ = next;  // next becomes the new stub
+    delete tail;
+    return true;
+  }
+
+  /// Parks the consumer until `wake()` returns true. `wake` is re-evaluated
+  /// under the wake mutex after every notification, and once before sleeping
+  /// (so a push that landed just before the call returns immediately).
+  /// Typical use: ConsumerWait([&] { return !Empty() || shutting_down; }).
+  template <typename WakeFn>
+  void ConsumerWait(WakeFn&& wake) {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, std::forward<WakeFn>(wake));
+  }
+
+  /// Wakes the consumer if it is parked in ConsumerWait. Used by Push and by
+  /// external state changes the consumer's wake predicate observes (e.g. the
+  /// serve loop's shutdown flag).
+  void NotifyOne() {
+    { std::lock_guard<std::mutex> lock(wake_mutex_); }  // lost-wakeup fence
+    wake_cv_.notify_one();
+  }
+
+  /// True when no fully-published element is visible to the consumer.
+  /// Consumer-side view; producers racing a push may not be reflected yet.
+  bool Empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    std::optional<T> value;  // engaged on every node but the stub
+  };
+
+  std::atomic<Node*> head_;  // producers push here
+  Node* tail_;               // consumer pops here (stub-first chain)
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+};
+
+}  // namespace tsd

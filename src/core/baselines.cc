@@ -60,13 +60,14 @@ TopRResult DegreeBoundedTopR(QueryPipeline& pipeline, const Graph& graph,
 
 }  // namespace
 
-TopRResult CompDivSearcher::TopR(std::uint32_t r, std::uint32_t k) {
+TopRResult CompDivSearcher::TopR(std::uint32_t r, std::uint32_t k,
+                                 QuerySession& session) const {
   TSD_CHECK(r >= 1);
   TSD_CHECK(k >= 1);
   // Neither baseline needs a truss decomposer; the workspaces only serve
   // ego extraction scratch.
   QueryPipeline& pipeline =
-      pipeline_.For(graph_, EgoTrussMethod::kHash, query_options());
+      session.PipelineFor(graph_, EgoTrussMethod::kHash);
   return DegreeBoundedTopR(
       pipeline, graph_, r, std::max(1U, k),
       [k](EgoNetwork& ego, bool want_contexts) {
@@ -74,11 +75,12 @@ TopRResult CompDivSearcher::TopR(std::uint32_t r, std::uint32_t k) {
       });
 }
 
-TopRResult CoreDivSearcher::TopR(std::uint32_t r, std::uint32_t k) {
+TopRResult CoreDivSearcher::TopR(std::uint32_t r, std::uint32_t k,
+                                 QuerySession& session) const {
   TSD_CHECK(r >= 1);
   TSD_CHECK(k >= 1);
   QueryPipeline& pipeline =
-      pipeline_.For(graph_, EgoTrussMethod::kHash, query_options());
+      session.PipelineFor(graph_, EgoTrussMethod::kHash);
   // A k-core has at least k+1 vertices.
   return DegreeBoundedTopR(
       pipeline, graph_, r, k + 1,

@@ -14,7 +14,7 @@
 
 #include <cstdint>
 
-#include "core/query_pipeline.h"
+#include "core/query_session.h"
 #include "core/types.h"
 #include "graph/graph.h"
 
@@ -23,23 +23,27 @@ namespace tsd {
 class CompDivSearcher : public DiversitySearcher {
  public:
   explicit CompDivSearcher(const Graph& graph) : graph_(graph) {}
-  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  using DiversitySearcher::SearchBatch;
+  using DiversitySearcher::TopR;
+  TopRResult TopR(std::uint32_t r, std::uint32_t k,
+                  QuerySession& session) const override;
   std::string name() const override { return "Comp-Div"; }
 
  private:
   const Graph& graph_;
-  PipelineCache pipeline_;
 };
 
 class CoreDivSearcher : public DiversitySearcher {
  public:
   explicit CoreDivSearcher(const Graph& graph) : graph_(graph) {}
-  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  using DiversitySearcher::SearchBatch;
+  using DiversitySearcher::TopR;
+  TopRResult TopR(std::uint32_t r, std::uint32_t k,
+                  QuerySession& session) const override;
   std::string name() const override { return "Core-Div"; }
 
  private:
   const Graph& graph_;
-  PipelineCache pipeline_;
 };
 
 /// r distinct uniformly random vertices (deterministic for a given seed).

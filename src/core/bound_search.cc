@@ -12,6 +12,28 @@
 #include "truss/truss_decomposition.h"
 
 namespace tsd {
+namespace {
+
+/// Re-arms the session pipeline to the full graph on every exit path. The
+/// pipeline is rebound to a stack-local sparsified graph for the scan; if
+/// an exception unwinds past the query, the session's cache must not keep
+/// workspaces pointing at the destroyed subgraph (the cache is shared
+/// across searchers on the same (graph, method) key, so a later query
+/// through another searcher would dereference it).
+class PipelineRearm {
+ public:
+  PipelineRearm(QueryPipeline& pipeline, const Graph& graph)
+      : pipeline_(pipeline), graph_(graph) {}
+  ~PipelineRearm() { pipeline_.Rebind(graph_); }
+  PipelineRearm(const PipelineRearm&) = delete;
+  PipelineRearm& operator=(const PipelineRearm&) = delete;
+
+ private:
+  QueryPipeline& pipeline_;
+  const Graph& graph_;
+};
+
+}  // namespace
 
 std::uint32_t BoundSearcher::UpperBound(std::uint32_t degree,
                                         std::uint64_t m_v, std::uint32_t k) {
@@ -35,16 +57,18 @@ std::vector<std::uint32_t> BoundSearcher::UpperBounds(
   return bounds;
 }
 
-TopRResult BoundSearcher::TopR(std::uint32_t r, std::uint32_t k) {
+TopRResult BoundSearcher::TopR(std::uint32_t r, std::uint32_t k,
+                               QuerySession& session) const {
   TSD_CHECK(r >= 1);
   TSD_CHECK(k >= 2);
   WallTimer total;
   TopRResult result;
 
-  // The pipeline is cached against the full graph and rebound to the
-  // per-query sparsified subgraph below, so workspace scratch survives
+  // The session's pipeline is cached against the full graph and rebound to
+  // the per-query sparsified subgraph below, so workspace scratch survives
   // across queries.
-  QueryPipeline& pipeline = pipeline_.For(graph_, method_, query_options());
+  QueryPipeline& pipeline = session.PipelineFor(graph_, method_);
+  PipelineRearm rearm(pipeline, graph_);
 
   // --- Preprocessing: sparsification + bounds (lines 1–4 of Algorithm 4).
   Graph reduced;
@@ -53,7 +77,7 @@ TopRResult BoundSearcher::TopR(std::uint32_t r, std::uint32_t k) {
     ScopedTimer t(&result.stats.preprocess_seconds);
     // The global decomposition and m_v counts run on the same thread knobs
     // as the scan phases (the preprocess was the last serial fraction).
-    const ParallelConfig config = ToParallelConfig(query_options());
+    const ParallelConfig config = ToParallelConfig(session.options());
     TrussDecomposition truss(graph_, config);
     // Property 1: only edges with τ_G(e) ≥ k+1 can contribute.
     reduced = KTrussSubgraph(graph_, truss.edge_trussness(), k + 1);
@@ -100,21 +124,22 @@ TopRResult BoundSearcher::TopR(std::uint32_t r, std::uint32_t k) {
         });
   }
 
-  // Re-arm the workspaces for the next query (the reduced graph dies here).
-  pipeline.Rebind(graph_);
+  // `rearm` rebinds the workspaces to the full graph on return (the
+  // reduced graph dies here) — and on any exception unwind above.
   result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
 }
 
 std::vector<TopRResult> BoundSearcher::SearchBatch(
-    std::span<const BatchQuery> queries) {
+    std::span<const BatchQuery> queries, QuerySession& session) const {
   WallTimer total;
   std::vector<TopRResult> results(queries.size());
   if (queries.empty()) return results;
   SearchStats stats;
   BatchQueryRunner runner(queries);
-  QueryPipeline& pipeline = pipeline_.For(graph_, method_, query_options());
+  QueryPipeline& pipeline = session.PipelineFor(graph_, method_);
+  PipelineRearm rearm(pipeline, graph_);
 
   // The smallest requested k gives the loosest sparsification, which is
   // valid for every batched threshold at once (KTrussSubgraph preserves the
@@ -123,7 +148,7 @@ std::vector<TopRResult> BoundSearcher::SearchBatch(
   Graph reduced;
   {
     ScopedTimer t(&stats.preprocess_seconds);
-    TrussDecomposition truss(graph_, ToParallelConfig(query_options()));
+    TrussDecomposition truss(graph_, ToParallelConfig(session.options()));
     reduced = KTrussSubgraph(graph_, truss.edge_trussness(), k_min + 1);
     pipeline.Rebind(reduced);
   }
@@ -150,7 +175,6 @@ std::vector<TopRResult> BoundSearcher::SearchBatch(
         });
   }
 
-  pipeline.Rebind(graph_);
   stats.threads_used = pipeline.num_threads();
   stats.total_seconds = total.Seconds();
   FillBatchStats(&results, stats);

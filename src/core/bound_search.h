@@ -20,20 +20,26 @@
 
 #include <cstdint>
 
-#include "core/query_pipeline.h"
+#include "core/query_session.h"
 #include "core/types.h"
 #include "graph/graph.h"
 #include "truss/ego_truss.h"
 
 namespace tsd {
 
+/// Immutable after construction; the per-query sparsified subgraph and the
+/// pipeline workspaces it rebinds live entirely in the session / call frame.
 class BoundSearcher : public DiversitySearcher {
  public:
   explicit BoundSearcher(const Graph& graph,
                          EgoTrussMethod method = EgoTrussMethod::kHash)
       : graph_(graph), method_(method) {}
 
-  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  using DiversitySearcher::SearchBatch;
+  using DiversitySearcher::TopR;
+
+  TopRResult TopR(std::uint32_t r, std::uint32_t k,
+                  QuerySession& session) const override;
 
   /// Amortized batch path: one global truss decomposition and one
   /// sparsification at the smallest requested k serve every query (Property
@@ -41,8 +47,8 @@ class BoundSearcher : public DiversitySearcher {
   /// with τ_G(e) ≥ k+1 for all batched k), then one ego decomposition per
   /// surviving vertex scores all thresholds. Exact scores for every
   /// candidate, so entries are bit-identical to per-query TopR.
-  std::vector<TopRResult> SearchBatch(
-      std::span<const BatchQuery> queries) override;
+  std::vector<TopRResult> SearchBatch(std::span<const BatchQuery> queries,
+                                      QuerySession& session) const override;
 
   std::string name() const override { return "bound"; }
 
@@ -62,8 +68,7 @@ class BoundSearcher : public DiversitySearcher {
 
  private:
   const Graph& graph_;
-  EgoTrussMethod method_;
-  PipelineCache pipeline_;
+  const EgoTrussMethod method_;
 };
 
 }  // namespace tsd

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/disjoint_set.h"
 #include "common/timer.h"
+#include "core/batch_query.h"
 #include "core/max_spanning_forest.h"
 #include "core/query_pipeline.h"
 #include "core/top_r_collector.h"
@@ -148,7 +149,32 @@ std::uint32_t DynamicTsdIndex::ScoreUpperBound(VertexId v,
   return static_cast<std::uint32_t>(it - edges.begin()) / (k - 1);
 }
 
-TopRResult DynamicTsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
+void DynamicTsdIndex::ScoresForThresholds(
+    VertexId v, std::span<const std::uint32_t> thresholds,
+    IndexQueryScratch& scratch, std::uint32_t* scores) const {
+  TSD_DCHECK(v < forest_.size());
+  const auto& edges = forest_[v];
+  // Weights are sorted descending, so the qualified prefix only grows as
+  // the threshold drops: one sweep serves every k (same discipline as
+  // TsdIndex::ScoresForThresholds, over the maintained forest slice).
+  scratch.ids.Begin(graph_.num_vertices());
+  std::size_t i = 0;
+  std::uint32_t qualified = 0;
+  for (std::size_t t = 0; t < thresholds.size(); ++t) {
+    const std::uint32_t k = thresholds[t];
+    TSD_DCHECK(t == 0 || thresholds[t - 1] > k);
+    while (i < edges.size() && edges[i].weight >= k) {
+      ++qualified;
+      scratch.ids.Insert(edges[i].u);
+      scratch.ids.Insert(edges[i].v);
+      ++i;
+    }
+    scores[t] = scratch.ids.size() - qualified;
+  }
+}
+
+TopRResult DynamicTsdIndex::TopR(std::uint32_t r, std::uint32_t k,
+                                 QuerySession& session) const {
   TSD_CHECK(r >= 1);
   TSD_CHECK(k >= 2);
   WallTimer total;
@@ -156,7 +182,7 @@ TopRResult DynamicTsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
   const VertexId n = graph_.num_vertices();
 
   // Index-only pipeline, like the frozen TsdIndex.
-  QueryPipeline pipeline(query_options());
+  QueryPipeline& pipeline = session.IndexPipeline();
   std::vector<std::uint32_t> bounds;
   pipeline.MapScores(n, &bounds, [&](QueryWorkspace&, VertexId v) {
     return ScoreUpperBound(v, k);
@@ -178,6 +204,43 @@ TopRResult DynamicTsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
   result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
   return result;
+}
+
+std::vector<TopRResult> DynamicTsdIndex::SearchBatch(
+    std::span<const BatchQuery> queries, QuerySession& session) const {
+  WallTimer total;
+  std::vector<TopRResult> results(queries.size());
+  if (queries.empty()) return results;
+  SearchStats stats;
+  BatchQueryRunner runner(queries);
+  QueryPipeline& pipeline = session.IndexPipeline();
+
+  // One forest-slice sweep per vertex answers every threshold (the TSD
+  // multi-k discipline over the dynamic forest slices); with exact multi-k
+  // scores this cheap, the bound ordering would not pay, so the batch path
+  // scans the full range.
+  {
+    ScopedTimer t(&stats.score_seconds);
+    stats.vertices_scored = runner.Scan(
+        pipeline, graph_.num_vertices(),
+        [this, &runner](QueryWorkspace& ws, VertexId v, std::uint32_t* out) {
+          ScoresForThresholds(v, runner.thresholds(), ws.index_scratch(), out);
+        });
+  }
+
+  {
+    ScopedTimer t(&stats.context_seconds);
+    runner.MaterializeGrouped(
+        pipeline, &results, [](QueryWorkspace&, VertexId) {},
+        [this](QueryWorkspace&, VertexId v, std::uint32_t k) {
+          return ScoreWithContexts(v, k).contexts;
+        });
+  }
+
+  stats.threads_used = pipeline.num_threads();
+  stats.total_seconds = total.Seconds();
+  FillBatchStats(&results, stats);
+  return results;
 }
 
 TsdIndex DynamicTsdIndex::Freeze() const {

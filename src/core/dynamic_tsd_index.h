@@ -14,8 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "core/query_scratch.h"
+#include "core/query_session.h"
 #include "core/scoring.h"
 #include "core/tsd_index.h"
 #include "core/types.h"
@@ -24,6 +27,10 @@
 
 namespace tsd {
 
+/// Queries are const and session-scoped like every searcher, so concurrent
+/// sessions may query one shared instance *between* updates; the update
+/// entry points (InsertEdge / RemoveEdge / AddVertex) mutate the forests
+/// and require external exclusion against queries.
 class DynamicTsdIndex : public DiversitySearcher {
  public:
   /// Builds the initial index from `initial` (equivalent to
@@ -45,7 +52,26 @@ class DynamicTsdIndex : public DiversitySearcher {
   ScoreResult ScoreWithContexts(VertexId v, std::uint32_t k) const;
   std::uint32_t ScoreUpperBound(VertexId v, std::uint32_t k) const;
 
-  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  /// Scores v at every threshold of `thresholds` (strictly descending) in
+  /// one sweep over the vertex's forest slice — the same multi-k kernel as
+  /// the frozen TsdIndex, over the maintained per-vertex forests.
+  void ScoresForThresholds(VertexId v,
+                           std::span<const std::uint32_t> thresholds,
+                           IndexQueryScratch& scratch,
+                           std::uint32_t* scores) const;
+
+  using DiversitySearcher::SearchBatch;
+  using DiversitySearcher::TopR;
+
+  TopRResult TopR(std::uint32_t r, std::uint32_t k,
+                  QuerySession& session) const override;
+
+  /// Amortized batch path (mirrors TsdIndex::SearchBatch): one forest-slice
+  /// sweep per vertex scores every requested threshold, winners grouped by
+  /// vertex for the context phase. Bit-identical to per-query TopR.
+  std::vector<TopRResult> SearchBatch(std::span<const BatchQuery> queries,
+                                      QuerySession& session) const override;
+
   std::string name() const override { return "TSD-dynamic"; }
 
   const DynamicGraph& graph() const { return graph_; }

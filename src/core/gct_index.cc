@@ -364,7 +364,8 @@ ScoreResult GctIndex::ScoreWithContexts(VertexId v, std::uint32_t k,
   return result;
 }
 
-TopRResult GctIndex::TopR(std::uint32_t r, std::uint32_t k) {
+TopRResult GctIndex::TopR(std::uint32_t r, std::uint32_t k,
+                          QuerySession& session) const {
   TSD_CHECK(r >= 1);
   TSD_CHECK(k >= 2);
   WallTimer total;
@@ -372,7 +373,7 @@ TopRResult GctIndex::TopR(std::uint32_t r, std::uint32_t k) {
   const VertexId n = num_vertices();
 
   // Index-only pipeline: score queries are two binary searches per vertex.
-  QueryPipeline pipeline(query_options());
+  QueryPipeline& pipeline = session.IndexPipeline();
   TopRCollector collector(r);
   {
     ScopedTimer t(&result.stats.score_seconds);
@@ -394,13 +395,13 @@ TopRResult GctIndex::TopR(std::uint32_t r, std::uint32_t k) {
 }
 
 std::vector<TopRResult> GctIndex::SearchBatch(
-    std::span<const BatchQuery> queries) {
+    std::span<const BatchQuery> queries, QuerySession& session) const {
   WallTimer total;
   std::vector<TopRResult> results(queries.size());
   if (queries.empty()) return results;
   SearchStats stats;
   BatchQueryRunner runner(queries);
-  QueryPipeline pipeline(query_options());
+  QueryPipeline& pipeline = session.IndexPipeline();
 
   {
     ScopedTimer t(&stats.score_seconds);

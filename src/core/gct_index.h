@@ -20,6 +20,7 @@
 #include <string>
 
 #include "core/query_scratch.h"
+#include "core/query_session.h"
 #include "core/scoring.h"
 #include "core/tsd_index.h"
 #include "core/types.h"
@@ -68,14 +69,19 @@ class GctIndex : public DiversitySearcher {
     return ScoreWithContexts(v, k, scratch);
   }
 
+  using DiversitySearcher::SearchBatch;
+  using DiversitySearcher::TopR;
+
   /// Index-based top-r search (exact scores are cheap, so no pruning bound
-  /// is needed; the full scan is O(n log)).
-  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  /// is needed; the full scan is O(n log)). The index is immutable, so
+  /// concurrent sessions may query one shared instance.
+  TopRResult TopR(std::uint32_t r, std::uint32_t k,
+                  QuerySession& session) const override;
 
   /// Amortized batch path: one slice sweep per vertex scores every
   /// requested threshold (bit-identical to per-query TopR).
-  std::vector<TopRResult> SearchBatch(
-      std::span<const BatchQuery> queries) override;
+  std::vector<TopRResult> SearchBatch(std::span<const BatchQuery> queries,
+                                      QuerySession& session) const override;
 
   std::string name() const override { return "GCT"; }
 

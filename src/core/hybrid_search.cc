@@ -63,7 +63,7 @@ HybridSearcher::HybridSearcher(const Graph& graph, const GctIndex& index,
 }
 
 std::vector<std::pair<VertexId, std::uint32_t>> HybridSearcher::Answers(
-    std::uint32_t r, std::uint32_t k) {
+    std::uint32_t r, std::uint32_t k) const {
   // Answer vertices are read straight from the precomputed ranking; if the
   // positive-score ranking is shorter than r, pad with zero-score vertices
   // in id order (matching the library-wide total order).
@@ -86,7 +86,8 @@ std::vector<std::pair<VertexId, std::uint32_t>> HybridSearcher::Answers(
   return answers;
 }
 
-TopRResult HybridSearcher::TopR(std::uint32_t r, std::uint32_t k) {
+TopRResult HybridSearcher::TopR(std::uint32_t r, std::uint32_t k,
+                                QuerySession& session) const {
   TSD_CHECK(r >= 1);
   TSD_CHECK(k >= 2);
   WallTimer total;
@@ -99,7 +100,7 @@ TopRResult HybridSearcher::TopR(std::uint32_t r, std::uint32_t k) {
   // each answer vertex — the paper's motivation for GCT. Winners are
   // independent, so this phase parallelizes across them.
   QueryPipeline& pipeline =
-      pipeline_.For(graph_, EgoTrussMethod::kHash, query_options());
+      session.PipelineFor(graph_, EgoTrussMethod::kHash);
   {
     ScopedTimer t(&result.stats.context_seconds);
     pipeline.MaterializeEntries(
@@ -117,14 +118,14 @@ TopRResult HybridSearcher::TopR(std::uint32_t r, std::uint32_t k) {
 }
 
 std::vector<TopRResult> HybridSearcher::SearchBatch(
-    std::span<const BatchQuery> queries) {
+    std::span<const BatchQuery> queries, QuerySession& session) const {
   WallTimer total;
   std::vector<TopRResult> results(queries.size());
   if (queries.empty()) return results;
   SearchStats stats;
   BatchQueryRunner runner(queries);
   QueryPipeline& pipeline =
-      pipeline_.For(graph_, EgoTrussMethod::kHash, query_options());
+      session.PipelineFor(graph_, EgoTrussMethod::kHash);
 
   // No scan at all: feed each query's precomputed answers to its collector
   // (they are already the unique top-r under the total order), then let the

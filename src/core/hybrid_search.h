@@ -16,12 +16,14 @@
 #include <vector>
 
 #include "core/gct_index.h"
-#include "core/query_pipeline.h"
+#include "core/query_session.h"
 #include "core/types.h"
 #include "graph/graph.h"
 
 namespace tsd {
 
+/// Immutable after construction (the all-k rankings are precomputed in the
+/// constructor); all query scratch lives in the session.
 class HybridSearcher : public DiversitySearcher {
  public:
   /// Precomputes rankings for all k in [2, max ego trussness] from a
@@ -30,13 +32,17 @@ class HybridSearcher : public DiversitySearcher {
   HybridSearcher(const Graph& graph, const GctIndex& index,
                  std::uint32_t num_threads = 1);
 
-  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  using DiversitySearcher::SearchBatch;
+  using DiversitySearcher::TopR;
+
+  TopRResult TopR(std::uint32_t r, std::uint32_t k,
+                  QuerySession& session) const override;
 
   /// Amortized batch path: answers come straight from the precomputed
   /// rankings; winners appearing in several queries are ego-decomposed once
   /// for the context phase (bit-identical to per-query TopR).
-  std::vector<TopRResult> SearchBatch(
-      std::span<const BatchQuery> queries) override;
+  std::vector<TopRResult> SearchBatch(std::span<const BatchQuery> queries,
+                                      QuerySession& session) const override;
 
   std::string name() const override { return "Hybrid"; }
 
@@ -46,11 +52,10 @@ class HybridSearcher : public DiversitySearcher {
  private:
   /// The (vertex, score) answers of one query, zero-score padded in id
   /// order to min(r, |V|) entries (the library-wide total order).
-  std::vector<std::pair<VertexId, std::uint32_t>> Answers(std::uint32_t r,
-                                                          std::uint32_t k);
+  std::vector<std::pair<VertexId, std::uint32_t>> Answers(
+      std::uint32_t r, std::uint32_t k) const;
 
   const Graph& graph_;
-  PipelineCache pipeline_;
   // rankings_[k - 2]: all vertices with positive score at threshold k,
   // sorted by (score desc, id asc), with their scores.
   std::vector<std::vector<std::pair<VertexId, std::uint32_t>>> rankings_;

@@ -7,25 +7,23 @@
 
 namespace tsd {
 
-QueryPipeline& OnlineSearcher::Pipeline() {
-  return pipeline_.For(graph_, method_, query_options());
-}
-
 ScoreResult OnlineSearcher::ScoreVertex(VertexId v, std::uint32_t k,
-                                        bool want_contexts) {
-  // Single-vertex path on workspace 0 of the cached pipeline, so repeated
-  // calls (tsdtool score) reuse all scratch.
-  QueryWorkspace& ws = Pipeline().workspace(0);
+                                        bool want_contexts,
+                                        QuerySession& session) const {
+  // Single-vertex path on workspace 0 of the session's cached pipeline, so
+  // repeated calls (tsdtool score) reuse all scratch.
+  QueryWorkspace& ws = Pipeline(session).workspace(0);
   EgoNetwork& ego = ws.DecomposeEgo(v);
   return ScoreFromEgoTrussness(ego, ws.trussness(), k, want_contexts);
 }
 
-TopRResult OnlineSearcher::TopR(std::uint32_t r, std::uint32_t k) {
+TopRResult OnlineSearcher::TopR(std::uint32_t r, std::uint32_t k,
+                                QuerySession& session) const {
   TSD_CHECK(r >= 1);
   TSD_CHECK(k >= 2);
   WallTimer total;
   TopRResult result;
-  QueryPipeline& pipeline = Pipeline();
+  QueryPipeline& pipeline = Pipeline(session);
 
   TopRCollector collector(r);
   {
@@ -59,13 +57,13 @@ TopRResult OnlineSearcher::TopR(std::uint32_t r, std::uint32_t k) {
 }
 
 std::vector<TopRResult> OnlineSearcher::SearchBatch(
-    std::span<const BatchQuery> queries) {
+    std::span<const BatchQuery> queries, QuerySession& session) const {
   WallTimer total;
   std::vector<TopRResult> results(queries.size());
   if (queries.empty()) return results;
   SearchStats stats;
   BatchQueryRunner runner(queries);
-  QueryPipeline& pipeline = Pipeline();
+  QueryPipeline& pipeline = Pipeline(session);
 
   // One ego decomposition per vertex scores it at every requested k.
   {

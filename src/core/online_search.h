@@ -9,7 +9,7 @@
 
 #include <cstdint>
 
-#include "core/query_pipeline.h"
+#include "core/query_session.h"
 #include "core/scoring.h"
 #include "core/types.h"
 #include "graph/graph.h"
@@ -17,6 +17,7 @@
 
 namespace tsd {
 
+/// Immutable after construction; all query scratch lives in the session.
 class OnlineSearcher : public DiversitySearcher {
  public:
   /// `method` selects the ego truss decomposition kernel (the paper's
@@ -25,24 +26,34 @@ class OnlineSearcher : public DiversitySearcher {
                           EgoTrussMethod method = EgoTrussMethod::kHash)
       : graph_(graph), method_(method) {}
 
-  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  using DiversitySearcher::SearchBatch;
+  using DiversitySearcher::TopR;
+
+  TopRResult TopR(std::uint32_t r, std::uint32_t k,
+                  QuerySession& session) const override;
 
   /// Amortized batch path: one ego decomposition per vertex feeds every
   /// query's collector (bit-identical to per-query TopR).
-  std::vector<TopRResult> SearchBatch(
-      std::span<const BatchQuery> queries) override;
+  std::vector<TopRResult> SearchBatch(std::span<const BatchQuery> queries,
+                                      QuerySession& session) const override;
 
   std::string name() const override { return "baseline"; }
 
-  /// Computes score(v) and contexts for a single vertex (Algorithm 2).
-  ScoreResult ScoreVertex(VertexId v, std::uint32_t k, bool want_contexts);
+  /// Computes score(v) and contexts for a single vertex (Algorithm 2). The
+  /// convenience overload runs on the default session.
+  ScoreResult ScoreVertex(VertexId v, std::uint32_t k, bool want_contexts,
+                          QuerySession& session) const;
+  ScoreResult ScoreVertex(VertexId v, std::uint32_t k, bool want_contexts) {
+    return ScoreVertex(v, k, want_contexts, default_session());
+  }
 
  private:
-  QueryPipeline& Pipeline();
+  QueryPipeline& Pipeline(QuerySession& session) const {
+    return session.PipelineFor(graph_, method_);
+  }
 
   const Graph& graph_;
-  EgoTrussMethod method_;
-  PipelineCache pipeline_;
+  const EgoTrussMethod method_;
 };
 
 }  // namespace tsd

@@ -210,7 +210,8 @@ std::uint32_t TsdIndex::ScoreUpperBound(VertexId v, std::uint32_t k) const {
   return qualified / (k - 1);
 }
 
-TopRResult TsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
+TopRResult TsdIndex::TopR(std::uint32_t r, std::uint32_t k,
+                          QuerySession& session) const {
   TSD_CHECK(r >= 1);
   TSD_CHECK(k >= 2);
   WallTimer total;
@@ -219,7 +220,7 @@ TopRResult TsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
 
   // Index-only pipeline: the kernels below read the forest arrays and never
   // touch an ego-network, so workspaces carry no extractor.
-  QueryPipeline pipeline(query_options());
+  QueryPipeline& pipeline = session.IndexPipeline();
 
   std::vector<std::uint32_t> bounds;
   {
@@ -258,13 +259,13 @@ TopRResult TsdIndex::TopR(std::uint32_t r, std::uint32_t k) {
 }
 
 std::vector<TopRResult> TsdIndex::SearchBatch(
-    std::span<const BatchQuery> queries) {
+    std::span<const BatchQuery> queries, QuerySession& session) const {
   WallTimer total;
   std::vector<TopRResult> results(queries.size());
   if (queries.empty()) return results;
   SearchStats stats;
   BatchQueryRunner runner(queries);
-  QueryPipeline pipeline(query_options());
+  QueryPipeline& pipeline = session.IndexPipeline();
 
   // One forest-slice sweep per vertex answers every threshold; with exact
   // multi-k scores this cheap, the s̃core bound ordering would not pay for

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "core/query_scratch.h"
+#include "core/query_session.h"
 #include "core/scoring.h"
 #include "core/types.h"
 #include "graph/ego_network.h"
@@ -82,13 +83,18 @@ class TsdIndex : public DiversitySearcher {
   /// The s̃core(v) upper bound (Section 5.2). Always ≥ Score(v, k).
   std::uint32_t ScoreUpperBound(VertexId v, std::uint32_t k) const;
 
-  /// Index-based top-r search with s̃core pruning.
-  TopRResult TopR(std::uint32_t r, std::uint32_t k) override;
+  using DiversitySearcher::SearchBatch;
+  using DiversitySearcher::TopR;
+
+  /// Index-based top-r search with s̃core pruning. The index is immutable,
+  /// so concurrent sessions may query one shared instance.
+  TopRResult TopR(std::uint32_t r, std::uint32_t k,
+                  QuerySession& session) const override;
 
   /// Amortized batch path: one forest-slice sweep per vertex scores every
   /// requested threshold (bit-identical to per-query TopR).
-  std::vector<TopRResult> SearchBatch(
-      std::span<const BatchQuery> queries) override;
+  std::vector<TopRResult> SearchBatch(std::span<const BatchQuery> queries,
+                                      QuerySession& session) const override;
 
   std::string name() const override { return "TSD"; }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -9,6 +10,8 @@
 #include "graph/graph.h"
 
 namespace tsd {
+
+class QuerySession;  // core/query_session.h: per-client query scratch
 
 /// A social context: the sorted vertex set of one maximal connected k-truss
 /// (or k-core / component, for the baseline models) in an ego-network.
@@ -70,14 +73,30 @@ struct BatchQuery {
 
 /// Abstract interface implemented by every search method
 /// (online / bound / TSD / GCT / Hybrid and the Comp-/Core-Div baselines).
+///
+/// Searchers are **immutable after build**: the session-taking query entry
+/// points are const and touch no searcher state, so one shared searcher
+/// instance may answer concurrent queries from any number of threads, each
+/// thread bringing its own QuerySession (which owns all mutable query
+/// scratch — see core/query_session.h). Results are a pure function of
+/// (searcher, query): bit-identical across sessions, thread counts, and
+/// batching.
 class DiversitySearcher {
  public:
-  virtual ~DiversitySearcher() = default;
+  DiversitySearcher();
+  virtual ~DiversitySearcher();
+  // Searchers move (TsdIndex::Build/Load return by value); the moved-from
+  // default session just re-creates lazily.
+  DiversitySearcher(DiversitySearcher&&) noexcept;
+  DiversitySearcher& operator=(DiversitySearcher&&) noexcept;
 
   /// Finds the r vertices with the highest structural diversity at
   /// trussness threshold k (k ≥ 2) and returns them with their social
-  /// contexts. Deterministic: ties broken by ascending vertex id.
-  virtual TopRResult TopR(std::uint32_t r, std::uint32_t k) = 0;
+  /// contexts, using `session`'s scratch. Deterministic: ties broken by
+  /// ascending vertex id. Thread-safe against concurrent queries on other
+  /// sessions.
+  virtual TopRResult TopR(std::uint32_t r, std::uint32_t k,
+                          QuerySession& session) const = 0;
 
   /// Answers many (k, r) queries in one call. Entries are bit-identical to
   /// calling TopR(q.r, q.k) per query, in query order, at any thread count.
@@ -86,29 +105,44 @@ class DiversitySearcher {
   /// every query, so per-batch stats (vertices_scored, timings) are shared
   /// across the batch there rather than per query.
   virtual std::vector<TopRResult> SearchBatch(
-      std::span<const BatchQuery> queries) {
+      std::span<const BatchQuery> queries, QuerySession& session) const {
     std::vector<TopRResult> results;
     results.reserve(queries.size());
     for (const BatchQuery& query : queries) {
-      results.push_back(TopR(query.r, query.k));
+      results.push_back(TopR(query.r, query.k, session));
     }
     return results;
   }
 
+  /// Convenience overloads running on a lazily-created default session that
+  /// tracks query_options(). Source-compatible with the pre-session API; NOT
+  /// thread-safe (the default session is shared per searcher instance) —
+  /// concurrent callers must use the session overloads above.
+  TopRResult TopR(std::uint32_t r, std::uint32_t k);
+  std::vector<TopRResult> SearchBatch(std::span<const BatchQuery> queries);
+
   /// Method name for logs and benchmark tables.
   virtual std::string name() const = 0;
 
-  /// Sets the pipeline knobs for subsequent TopR calls. The ranking is
-  /// bit-identical at any thread count; only wall time (and, for the
-  /// bound-pruned methods, the number of exactly-scored candidates —
-  /// parallel rounds prune at batch granularity) may differ.
+  /// Sets the pipeline knobs the *default session* runs with. Sessions own
+  /// their knobs (QuerySession::set_options); this only affects the
+  /// convenience overloads. The ranking is bit-identical at any thread
+  /// count; only wall time (and, for the bound-pruned methods, the number
+  /// of exactly-scored candidates — parallel rounds prune at batch
+  /// granularity) may differ.
   void set_query_options(const QueryOptions& options) {
     query_options_ = options;
   }
   const QueryOptions& query_options() const { return query_options_; }
 
  protected:
+  /// The default session backing the convenience overloads, created on
+  /// first use and re-synced to query_options() on every call.
+  QuerySession& default_session();
+
+ private:
   QueryOptions query_options_;
+  std::unique_ptr<QuerySession> default_session_;
 };
 
 /// Comparator for the library-wide ranking order: true if (score_a, a)

@@ -86,6 +86,16 @@ void EgoNetworkExtractor::ExtractInto(VertexId v, EgoNetwork* out) {
   for (VertexId member : out->members) local_id_[member] = 0;
 }
 
+namespace {
+
+/// Scratch cap for the pass-2 counting matrix (num_chunks × n × 8 bytes):
+/// above it the chunk count is lowered, and below 2 usable chunks the fill
+/// falls back to the sequential cursors — same budget discipline as the
+/// parallel triangle kernels.
+constexpr std::uint64_t kFillMatrixBudgetBytes = std::uint64_t{1} << 30;
+
+}  // namespace
+
 GlobalEgoNetworks::GlobalEgoNetworks(const Graph& graph,
                                      const ParallelConfig& config)
     : graph_(graph) {
@@ -97,25 +107,100 @@ GlobalEgoNetworks::GlobalEgoNetworks(const Graph& graph,
   // listing cost).
   const internal::ForwardAdjacency fwd(graph, config);
 
-  // Pass 1: count ego edges per center (= triangles per vertex; 64-bit —
-  // a dense degree-93k hub overflows a 32-bit counter), on the shared
-  // kernel so the fill pass below reuses the same forward adjacency.
-  const std::vector<std::uint64_t> counts =
-      internal::TrianglesPerVertexFromForward(fwd, n, config);
-  offsets_.assign(n + 1, 0);
-  for (VertexId v = 0; v < n; ++v) offsets_[v + 1] = offsets_[v] + counts[v];
+  // Chunking for the parallel distribution fill: the counting and fill
+  // passes below must agree on chunk boundaries, so the chunk count is
+  // resolved once. Bounded so the counting matrix stays within budget.
+  std::uint32_t num_chunks = 1;
+  if (config.num_threads > 1 && n > 0) {
+    num_chunks = EffectiveChunks(config, n);
+    const std::uint64_t max_chunks =
+        kFillMatrixBudgetBytes / (std::uint64_t{n} * sizeof(std::uint64_t));
+    num_chunks = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(num_chunks, std::max<std::uint64_t>(
+                                                std::uint64_t{1}, max_chunks)));
+  }
 
-  // Pass 2: distribute each triangle to its three ego-networks. Sequential:
-  // three shared cursors advance per triangle, and keeping this pass
-  // single-threaded keeps every slice's listing order deterministic.
+  if (num_chunks < 2) {
+    // Sequential path (1 thread, tiny graphs, or matrix over budget): pass 1
+    // counts ego edges per center (= triangles per vertex; 64-bit — a dense
+    // degree-93k hub overflows a 32-bit counter), pass 2 distributes each
+    // triangle to its three ego-networks through three shared cursors.
+    const std::vector<std::uint64_t> counts =
+        internal::TrianglesPerVertexFromForward(fwd, n, config);
+    offsets_.assign(n + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      offsets_[v + 1] = offsets_[v] + counts[v];
+    }
+    ego_edges_.resize(offsets_[n]);
+    std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    internal::ForEachTriangleInRange(
+        fwd, 0, n,
+        [&](VertexId u, VertexId v, VertexId w, EdgeId, EdgeId, EdgeId) {
+          ego_edges_[cursor[w]++] = Edge{std::min(u, v), std::max(u, v)};
+          ego_edges_[cursor[v]++] = Edge{std::min(u, w), std::max(u, w)};
+          ego_edges_[cursor[u]++] = Edge{std::min(v, w), std::max(v, w)};
+        });
+    listing_seconds_ = timer.Seconds();
+    return;
+  }
+
+  // Parallel distribution fill. A center's slice must list its ego edges in
+  // the exact order the sequential triangle enumeration produces them, so
+  // shared cursors won't do. Instead, a per-chunk counting matrix
+  // (num_chunks × n) records how many ego edges each chunk of the
+  // enumeration contributes to each center; a column-wise prefix sum then
+  // gives every (chunk, center) pair its own disjoint cursor range inside
+  // the center's slice. Chunks are ordered sub-ranges of the enumeration,
+  // so concatenating their contributions per center reproduces the
+  // sequential listing order exactly — the fill is bit-identical to the
+  // sequential pass at any thread count.
+  std::vector<std::vector<std::uint64_t>> matrix(num_chunks);
+  ParallelForChunks(n, num_chunks, config.num_threads,
+                    [&](std::uint32_t c, std::uint64_t begin,
+                        std::uint64_t end) {
+                      std::vector<std::uint64_t>& counts = matrix[c];
+                      counts.assign(n, 0);
+                      internal::ForEachTriangleInRange(
+                          fwd, static_cast<VertexId>(begin),
+                          static_cast<VertexId>(end),
+                          [&](VertexId u, VertexId v, VertexId w, EdgeId,
+                              EdgeId, EdgeId) {
+                            ++counts[u];
+                            ++counts[v];
+                            ++counts[w];
+                          });
+                    });
+
+  // Column-wise running sum: offsets_ from the per-center totals, and each
+  // matrix cell rewritten to its chunk's start cursor within the slice.
+  // Chunks the parallel-for skipped as empty (ceil-divided boundaries can
+  // leave trailing chunks without vertices) never ran their fn, so their
+  // rows are unsized: they contribute nothing and are skipped here and
+  // (for the same boundaries) in the fill pass below.
+  offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t cursor = offsets_[v];
+    for (std::uint32_t c = 0; c < num_chunks; ++c) {
+      if (matrix[c].empty()) continue;
+      const std::uint64_t count = matrix[c][v];
+      matrix[c][v] = cursor;
+      cursor += count;
+    }
+    offsets_[v + 1] = cursor;
+  }
+
   ego_edges_.resize(offsets_[n]);
-  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  internal::ForEachTriangleInRange(
-      fwd, 0, n,
-      [&](VertexId u, VertexId v, VertexId w, EdgeId, EdgeId, EdgeId) {
-        ego_edges_[cursor[w]++] = Edge{std::min(u, v), std::max(u, v)};
-        ego_edges_[cursor[v]++] = Edge{std::min(u, w), std::max(u, w)};
-        ego_edges_[cursor[u]++] = Edge{std::min(v, w), std::max(v, w)};
+  ParallelForChunks(
+      n, num_chunks, config.num_threads,
+      [&](std::uint32_t c, std::uint64_t begin, std::uint64_t end) {
+        std::vector<std::uint64_t>& cursor = matrix[c];  // chunk-owned
+        internal::ForEachTriangleInRange(
+            fwd, static_cast<VertexId>(begin), static_cast<VertexId>(end),
+            [&](VertexId u, VertexId v, VertexId w, EdgeId, EdgeId, EdgeId) {
+              ego_edges_[cursor[w]++] = Edge{std::min(u, v), std::max(u, v)};
+              ego_edges_[cursor[v]++] = Edge{std::min(u, w), std::max(u, w)};
+              ego_edges_[cursor[u]++] = Edge{std::min(v, w), std::max(v, w)};
+            });
       });
   listing_seconds_ = timer.Seconds();
 }

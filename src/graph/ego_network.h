@@ -92,9 +92,13 @@ class EgoNetworkExtractor {
 class GlobalEgoNetworks {
  public:
   /// Lists all triangles and groups them by center. With
-  /// `config.num_threads > 1` the forward-adjacency build and the counting
-  /// pass run on worker threads (the distribution pass stays sequential so
-  /// each ego slice keeps its deterministic listing order).
+  /// `config.num_threads > 1` the forward-adjacency build, the counting
+  /// pass, AND the distribution fill run on worker threads: a per-chunk
+  /// counting matrix gives every (chunk, center) pair a disjoint cursor
+  /// range inside the center's slice, so the parallel fill reproduces the
+  /// sequential listing order bit for bit (chunks are ordered sub-ranges of
+  /// the enumeration). Above a scratch budget the matrix shrinks and
+  /// ultimately falls back to the sequential shared-cursor fill.
   explicit GlobalEgoNetworks(const Graph& graph,
                              const ParallelConfig& config = {});
 

@@ -1,0 +1,190 @@
+#include "server/serve_loop.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tsd {
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kRejectedBadQuery:
+      return "rejected:bad-query";
+    case ServeStatus::kRejectedRLimit:
+      return "rejected:r-limit";
+    case ServeStatus::kRejectedQueueDepth:
+      return "rejected:queue-depth";
+    case ServeStatus::kRejectedShutdown:
+      return "rejected:shutdown";
+    case ServeStatus::kInternalError:
+      return "error:internal";
+  }
+  return "unknown";
+}
+
+ServeLoop::ServeLoop(const DiversitySearcher& searcher,
+                     const ServeOptions& options)
+    : searcher_(searcher),
+      options_(options),
+      session_(options.query_options) {
+  TSD_CHECK(options_.max_batch >= 1);
+}
+
+ServeLoop::~ServeLoop() { Shutdown(); }
+
+void ServeLoop::Start() {
+  if (started_.exchange(true)) return;
+  server_ = std::thread([this] { RunLoop(); });
+}
+
+Future<ServeReply> ServeLoop::RejectNow(ServeStatus status) {
+  Promise<ServeReply> promise;
+  Future<ServeReply> future = promise.GetFuture();
+  ServeReply reply;
+  reply.status = status;
+  promise.Set(std::move(reply));
+  return future;
+}
+
+Future<ServeReply> ServeLoop::Submit(const ServeRequest& request) {
+  // Admission control is synchronous and a pure function of (request,
+  // tenant depth), so rejections are deterministic for a given submission
+  // sequence regardless of how fast the server drains.
+  if (request.k < 2 || request.r < 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rejected_bad_query;
+    return RejectNow(ServeStatus::kRejectedBadQuery);
+  }
+  if (request.r > options_.max_r) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rejected_r_limit;
+    return RejectNow(ServeStatus::kRejectedRLimit);
+  }
+
+  // The queued_ increment is ordered before the accepting_ load (both
+  // seq_cst) so the server's exit condition (!accepting_ && queued_ == 0)
+  // cannot miss a request that already passed the shutdown check.
+  queued_.fetch_add(1);
+  if (!accepting_.load()) {
+    queued_.fetch_sub(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rejected_shutdown;
+    return RejectNow(ServeStatus::kRejectedShutdown);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint32_t& depth = depth_[request.tenant];
+    if (depth >= options_.max_queue_depth) {
+      queued_.fetch_sub(1);
+      ++stats_.rejected_queue_depth;
+      return RejectNow(ServeStatus::kRejectedQueueDepth);
+    }
+    ++depth;
+    ++stats_.accepted;
+  }
+
+  Pending pending;
+  pending.request = request;
+  Future<ServeReply> future = pending.promise.GetFuture();
+  queue_.Push(std::move(pending));
+  return future;
+}
+
+void ServeLoop::ServeBatch(std::vector<Pending>& batch) {
+  std::vector<BatchQuery> queries;
+  queries.reserve(batch.size());
+  for (const Pending& pending : batch) {
+    queries.push_back(BatchQuery{pending.request.k, pending.request.r});
+  }
+
+  // One coalesced SearchBatch: the amortized engine decomposes each
+  // candidate once for every in-flight tenant. Replies are bit-identical to
+  // per-query TopR, so coalescing is invisible in the response bytes. A
+  // throwing batch must not take down the server (an unwinding exception
+  // would std::terminate the thread and abandon every outstanding future):
+  // its requests are fulfilled with kInternalError and serving continues.
+  std::vector<TopRResult> results;
+  bool ok = true;
+  try {
+    results = searcher_.SearchBatch(queries, session_);
+    TSD_CHECK(results.size() == batch.size());
+  } catch (const std::exception&) {
+    ok = false;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batches;
+    if (stats_.batch_size_count.size() <= batch.size()) {
+      stats_.batch_size_count.resize(batch.size() + 1, 0);
+    }
+    ++stats_.batch_size_count[batch.size()];
+    (ok ? stats_.served : stats_.failed) += batch.size();
+    for (const Pending& pending : batch) {
+      auto it = depth_.find(pending.request.tenant);
+      TSD_DCHECK(it != depth_.end() && it->second > 0);
+      if (it == depth_.end()) continue;
+      // Erase drained tenants: ids are client-controlled u64s, so keeping
+      // one entry per tenant ever seen would grow without bound.
+      if (it->second <= 1) {
+        depth_.erase(it);
+      } else {
+        --it->second;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ServeReply reply;
+    if (ok) {
+      reply.status = ServeStatus::kOk;
+      reply.result = std::move(results[i]);
+    } else {
+      reply.status = ServeStatus::kInternalError;
+    }
+    batch[i].promise.Set(std::move(reply));
+  }
+}
+
+void ServeLoop::RunLoop() {
+  std::vector<Pending> batch;
+  while (true) {
+    batch.clear();
+    Pending pending;
+    while (batch.size() < options_.max_batch && queue_.TryPop(&pending)) {
+      queued_.fetch_sub(1);
+      batch.push_back(std::move(pending));
+    }
+    if (!batch.empty()) {
+      ServeBatch(batch);
+      continue;  // more may have arrived while serving
+    }
+    if (!accepting_.load() && queued_.load() == 0) break;
+    queue_.ConsumerWait([this] {
+      return !queue_.Empty() ||
+             (!accepting_.load() && queued_.load() == 0);
+    });
+  }
+}
+
+void ServeLoop::Shutdown() {
+  // Start first so requests accepted before Start() are still served — the
+  // "drain everything accepted" contract holds even for a loop that never
+  // ran.
+  Start();
+  accepting_.store(false);
+  queue_.NotifyOne();
+  if (server_.joinable()) server_.join();
+}
+
+ServeStats ServeLoop::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tsd

@@ -1,0 +1,89 @@
+#include "server/stdin_proto.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace tsd {
+namespace {
+
+/// Parses a non-negative integer; false on garbage or overflow past u64.
+bool ParseU64(const std::string& token, std::uint64_t* out) {
+  if (token.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+struct Outstanding {
+  std::uint64_t id;
+  Future<ServeReply> future;
+};
+
+void Flush(std::vector<Outstanding>& outstanding, std::ostream& out) {
+  for (Outstanding& entry : outstanding) {
+    ServeReply reply = entry.future.Get();
+    if (reply.status == ServeStatus::kOk) {
+      out << "= " << entry.id
+          << " ok entries=" << reply.result.entries.size() << "\n";
+      for (std::size_t i = 0; i < reply.result.entries.size(); ++i) {
+        out << i + 1 << " " << reply.result.entries[i].vertex << " "
+            << reply.result.entries[i].score << "\n";
+      }
+    } else {
+      out << "= " << entry.id << " " << ServeStatusName(reply.status) << "\n";
+    }
+  }
+  outstanding.clear();
+}
+
+}  // namespace
+
+StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
+                              ServeLoop& loop) {
+  StdinProtoStats stats;
+  std::vector<Outstanding> outstanding;
+  std::uint64_t next_id = 1;
+  std::uint64_t line_number = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    if (tokens[0] == "flush" && tokens.size() == 1) {
+      Flush(outstanding, out);
+      continue;
+    }
+    std::uint64_t tenant = 0;
+    std::uint64_t k = 0;
+    std::uint64_t r = 0;
+    if (tokens[0] == "q" && tokens.size() == 4 &&
+        ParseU64(tokens[1], &tenant) && ParseU64(tokens[2], &k) &&
+        ParseU64(tokens[3], &r) && k <= UINT32_MAX && r <= UINT32_MAX) {
+      loop.Start();
+      ServeRequest request;
+      request.tenant = tenant;
+      request.k = static_cast<std::uint32_t>(k);
+      request.r = static_cast<std::uint32_t>(r);
+      outstanding.push_back({next_id++, loop.Submit(request)});
+      ++stats.requests;
+    } else {
+      out << "! parse-error line " << line_number << "\n";
+      ++stats.parse_errors;
+    }
+  }
+  Flush(outstanding, out);
+  return stats;
+}
+
+}  // namespace tsd

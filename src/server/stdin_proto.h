@@ -1,0 +1,40 @@
+// Line-oriented request/response protocol over a ServeLoop, so scripts and
+// CI can drive the server through pipes (`tsdtool serve --stdin-proto`).
+//
+// Requests, one per line:
+//   q <tenant> <k> <r>     submit a top-r query for a tenant
+//   flush                  print replies for all outstanding requests,
+//                          in submission order
+//   # ...                  comment (skipped); blank lines are skipped too
+// EOF implies a final flush.
+//
+// Responses, written to `out` at flush time:
+//   = <id> ok entries=<n>  followed by n lines "<rank> <vertex> <score>"
+//   = <id> rejected:<why>  (r-limit, queue-depth, bad-query, shutdown)
+// Ids are 1-based submission order. Replies are printed in submission
+// order — not completion order — and each reply is bit-identical to a
+// serial TopR of the same request, so the transcript is byte-stable across
+// server thread counts and coalescing patterns (CI compares 1 vs 8 server
+// threads byte for byte). Malformed lines yield a deterministic
+// "! parse-error line <n>" response line and are otherwise skipped.
+#pragma once
+
+#include <iosfwd>
+
+#include "server/serve_loop.h"
+
+namespace tsd {
+
+struct StdinProtoStats {
+  std::uint64_t requests = 0;
+  std::uint64_t parse_errors = 0;
+};
+
+/// Reads requests from `in` until EOF, submitting to `loop` (which must be
+/// Start()ed by the caller or by an earlier flush — RunStdinProto starts it
+/// on first submit), and writes the response transcript to `out`. Returns
+/// driver-side stats; serving stats come from loop.stats().
+StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
+                              ServeLoop& loop);
+
+}  // namespace tsd

@@ -145,22 +145,34 @@ INSTANTIATE_TEST_SUITE_P(Graphs, BatchDifferentialTest,
                            return TestGraphs()[info.param].name;
                          });
 
-// The dynamic index answers batches through the default per-query loop;
-// exercise it so every DiversitySearcher implementation is covered.
-TEST(BatchDifferentialTest, DynamicIndexDefaultBatchPathMatches) {
+// The dynamic index answers batches with the TSD multi-k slice sweep over
+// its maintained forest slices; it must stay bit-identical to per-query
+// TopR at any thread count, including after maintenance updates.
+TEST(BatchDifferentialTest, DynamicIndexAmortizedBatchPathMatches) {
   const Graph g = HolmeKim(150, 5, 0.5, 7);
   DynamicTsdIndex dynamic(g);
   const std::vector<BatchQuery> batch = {{4, 5}, {2, 10}, {4, 5}, {3, 1}};
-  std::vector<TopRResult> reference;
-  for (const BatchQuery& query : batch) {
-    reference.push_back(dynamic.TopR(query.r, query.k));
-  }
-  const std::vector<TopRResult> results = dynamic.SearchBatch(batch);
-  ASSERT_EQ(results.size(), batch.size());
-  for (std::size_t q = 0; q < batch.size(); ++q) {
-    ExpectSameEntries(reference[q], results[q],
-                      "dynamic q=" + std::to_string(q));
-  }
+  auto check = [&](const std::string& label) {
+    std::vector<TopRResult> reference;
+    for (const BatchQuery& query : batch) {
+      reference.push_back(dynamic.TopR(query.r, query.k));
+    }
+    for (std::uint32_t threads : {1u, 2u, 8u}) {
+      dynamic.set_query_options(QueryOptions{threads, 0});
+      const std::vector<TopRResult> results = dynamic.SearchBatch(batch);
+      ASSERT_EQ(results.size(), batch.size());
+      for (std::size_t q = 0; q < batch.size(); ++q) {
+        ExpectSameEntries(reference[q], results[q],
+                          label + " q=" + std::to_string(q) +
+                              " threads=" + std::to_string(threads));
+      }
+    }
+    dynamic.set_query_options(QueryOptions{});
+  };
+  check("dynamic");
+  dynamic.InsertEdge(0, 149);
+  dynamic.RemoveEdge(0, 1);
+  check("dynamic-after-updates");
 }
 
 // Degenerate batches: empty, single query, every threshold dead (score 0

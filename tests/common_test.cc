@@ -1,13 +1,18 @@
 // Unit tests for src/common: bitmap, disjoint set, bucket queue, rng,
-// strings, table printer, flags, serialization, check macros.
+// strings, table printer, flags, serialization, check macros, and the
+// serving substrate (MPSC queue + future/promise).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <random>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/bitmap.h"
@@ -15,6 +20,8 @@
 #include "common/check.h"
 #include "common/disjoint_set.h"
 #include "common/flags.h"
+#include "common/future.h"
+#include "common/mpsc_queue.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "common/strings.h"
@@ -401,6 +408,101 @@ TEST(SerializeTest, RejectsBadMagicAndTruncation) {
     EXPECT_THROW(r.ReadPod<std::uint64_t>(), CheckError);  // truncated
   }
   std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------- MpscQueue
+
+TEST(MpscQueueTest, FifoSingleProducer) {
+  MpscQueue<int> queue;
+  EXPECT_TRUE(queue.Empty());
+  for (int i = 0; i < 100; ++i) queue.Push(i);
+  EXPECT_FALSE(queue.Empty());
+  int value = -1;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(queue.TryPop(&value));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_FALSE(queue.TryPop(&value));
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(MpscQueueTest, MoveOnlyPayload) {
+  MpscQueue<std::unique_ptr<int>> queue;
+  queue.Push(std::make_unique<int>(42));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(MpscQueueTest, MultiProducerPreservesPerProducerOrder) {
+  // 4 producers × 500 values; the consumer must see every value exactly
+  // once and each producer's values in its push order. Runs under the TSan
+  // CI job, so publication races fail loudly.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  MpscQueue<std::pair<int, int>> queue;  // (producer, sequence)
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) queue.Push({p, i});
+    });
+  }
+  std::vector<int> next_expected(kProducers, 0);
+  int popped = 0;
+  std::pair<int, int> item;
+  while (popped < kProducers * kPerProducer) {
+    if (queue.TryPop(&item)) {
+      EXPECT_EQ(item.second, next_expected[item.first])
+          << "producer " << item.first;
+      ++next_expected[item.first];
+      ++popped;
+    } else {
+      queue.ConsumerWait([&] { return !queue.Empty(); });
+    }
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_FALSE(queue.TryPop(&item));
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer);
+  }
+}
+
+// ---------------------------------------------------------------- Future
+
+TEST(FutureTest, GetReturnsSetValue) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  EXPECT_FALSE(future.Ready());
+  promise.Set(7);
+  EXPECT_TRUE(future.Ready());
+  EXPECT_EQ(future.Get(), 7);
+}
+
+TEST(FutureTest, GetBlocksUntilSetFromAnotherThread) {
+  Promise<std::string> promise;
+  Future<std::string> future = promise.GetFuture();
+  std::thread producer([&promise] { promise.Set("done"); });
+  EXPECT_EQ(future.Get(), "done");  // blocks until the producer sets
+  producer.join();
+}
+
+TEST(FutureTest, MovesValueOut) {
+  Promise<std::unique_ptr<int>> promise;
+  Future<std::unique_ptr<int>> future = promise.GetFuture();
+  promise.Set(std::make_unique<int>(9));
+  std::unique_ptr<int> value = future.Get();
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 9);
+}
+
+TEST(FutureTest, AbandonedPromiseFailsGetLoudly) {
+  Future<int> future;
+  {
+    Promise<int> promise;
+    future = promise.GetFuture();
+  }  // destroyed unfulfilled
+  EXPECT_THROW(future.Get(), CheckError);
 }
 
 }  // namespace

@@ -90,6 +90,48 @@ TEST(EgoNetworkTest, GlobalTriangleCountConsistent) {
   EXPECT_EQ(global.num_triangles(), CountTriangles(g));
 }
 
+// The parallel distribution fill (per-chunk counting matrix) must reproduce
+// the sequential pass bit for bit: every center's ego-edge slice in the
+// same listing order, at any thread count.
+TEST(EgoNetworkTest, GlobalListingParallelFillBitIdentical) {
+  for (std::uint64_t seed : {4ull, 13ull}) {
+    Graph g = HolmeKim(300, 5, 0.6, seed);
+    GlobalEgoNetworks sequential(g, ParallelConfig{1, 0});
+    for (std::uint32_t threads : {2u, 8u}) {
+      GlobalEgoNetworks parallel(g, ParallelConfig{threads, 0});
+      ASSERT_EQ(parallel.num_triangles(), sequential.num_triangles());
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const auto expected = sequential.EgoEdges(v);
+        const auto actual = parallel.EgoEdges(v);
+        ASSERT_EQ(actual.size(), expected.size())
+            << "seed=" << seed << " threads=" << threads << " v=" << v;
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_TRUE(actual[i].u == expected[i].u &&
+                      actual[i].v == expected[i].v)
+              << "seed=" << seed << " threads=" << threads << " v=" << v
+              << " slot=" << i;
+        }
+      }
+    }
+  }
+}
+
+// Odd chunk counts exercise uneven chunk boundaries in the counting matrix.
+TEST(EgoNetworkTest, GlobalListingParallelFillOddChunks) {
+  Graph g = HolmeKim(200, 5, 0.5, 17);
+  GlobalEgoNetworks sequential(g, ParallelConfig{1, 0});
+  GlobalEgoNetworks parallel(g, ParallelConfig{3, 7});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto expected = sequential.EgoEdges(v);
+    const auto actual = parallel.EgoEdges(v);
+    ASSERT_EQ(actual.size(), expected.size()) << "v=" << v;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_TRUE(actual[i].u == expected[i].u && actual[i].v == expected[i].v)
+          << "v=" << v << " slot=" << i;
+    }
+  }
+}
+
 // ----------------------------------------------------- Ego truss kernels
 
 TEST(EgoTrussTest, HashMatchesNaiveOnFigure1) {

@@ -1,0 +1,384 @@
+// Concurrent-serving suite for the shared-immutable searcher contract and
+// the ServeLoop coalescing layer.
+//
+//  * N client threads query ONE shared searcher instance, each through its
+//    own QuerySession — results must be bit-identical to serial execution.
+//    Runs under the existing TSan CI job, so any hidden searcher mutation
+//    shows up as a data race, not just a wrong score.
+//  * ServeLoop: replies (through MPSC submission, coalesced batches, and
+//    futures) equal serial TopR; admission control rejects deterministically;
+//    requests queued before Start() coalesce into one batch.
+//  * The stdin line protocol produces byte-identical transcripts at 1 and 4
+//    server pipeline threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/bound_search.h"
+#include "core/dynamic_tsd_index.h"
+#include "core/gct_index.h"
+#include "core/hybrid_search.h"
+#include "core/online_search.h"
+#include "core/query_session.h"
+#include "core/tsd_index.h"
+#include "graph/generators.h"
+#include "server/serve_loop.h"
+#include "server/stdin_proto.h"
+
+namespace tsd {
+namespace {
+
+void ExpectSameEntries(const TopRResult& expected, const TopRResult& actual,
+                       const std::string& label) {
+  ASSERT_EQ(expected.entries.size(), actual.entries.size()) << label;
+  for (std::size_t i = 0; i < expected.entries.size(); ++i) {
+    EXPECT_EQ(expected.entries[i].vertex, actual.entries[i].vertex)
+        << label << " rank=" << i;
+    EXPECT_EQ(expected.entries[i].score, actual.entries[i].score)
+        << label << " rank=" << i;
+    EXPECT_EQ(expected.entries[i].contexts, actual.entries[i].contexts)
+        << label << " rank=" << i;
+  }
+}
+
+std::vector<BatchQuery> TestQueries() {
+  return {{2, 5}, {3, 10}, {4, 3}, {5, 1}, {3, 7}, {2, 1}, {6, 4}, {4, 10}};
+}
+
+/// Serial ground truth: one session, one thread, per-query TopR.
+std::vector<TopRResult> SerialReference(const DiversitySearcher& searcher,
+                                        const std::vector<BatchQuery>& qs) {
+  QuerySession session;
+  std::vector<TopRResult> out;
+  for (const BatchQuery& q : qs) {
+    out.push_back(searcher.TopR(q.r, q.k, session));
+  }
+  return out;
+}
+
+/// The tentpole property: a shared const searcher answers concurrent
+/// queries from `num_clients` threads (own session each) bit-identically to
+/// serial execution.
+void CheckConcurrentEqualsSerial(const DiversitySearcher& searcher,
+                                 std::uint32_t num_clients) {
+  const std::vector<BatchQuery> queries = TestQueries();
+  const std::vector<TopRResult> reference = SerialReference(searcher, queries);
+
+  std::vector<std::vector<TopRResult>> per_client(num_clients);
+  std::vector<std::thread> clients;
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      // Odd clients run their session's pipeline with 2 workers to mix
+      // intra-query parallelism into the contention pattern.
+      QuerySession session(QueryOptions{c % 2 == 0 ? 1U : 2U, 0});
+      for (const BatchQuery& q : queries) {
+        per_client[c].push_back(searcher.TopR(q.r, q.k, session));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    ASSERT_EQ(per_client[c].size(), queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      ExpectSameEntries(reference[q], per_client[c][q],
+                        searcher.name() + " client=" + std::to_string(c) +
+                            " q=" + std::to_string(q));
+    }
+  }
+}
+
+TEST(SharedSearcherTest, GctIndexConcurrentQueriesMatchSerial) {
+  const Graph g = HolmeKim(300, 5, 0.6, 21);
+  const GctIndex gct = GctIndex::Build(g);
+  CheckConcurrentEqualsSerial(gct, 4);
+}
+
+TEST(SharedSearcherTest, TsdIndexConcurrentQueriesMatchSerial) {
+  const Graph g = HolmeKim(300, 5, 0.6, 22);
+  const TsdIndex tsd = TsdIndex::Build(g);
+  CheckConcurrentEqualsSerial(tsd, 4);
+}
+
+TEST(SharedSearcherTest, OnlineSearcherConcurrentQueriesMatchSerial) {
+  const Graph g = HolmeKim(150, 4, 0.5, 23);
+  const OnlineSearcher online(g);
+  CheckConcurrentEqualsSerial(online, 4);
+}
+
+TEST(SharedSearcherTest, BoundSearcherConcurrentQueriesMatchSerial) {
+  const Graph g = HolmeKim(150, 4, 0.5, 24);
+  const BoundSearcher bound(g);
+  CheckConcurrentEqualsSerial(bound, 4);
+}
+
+TEST(SharedSearcherTest, HybridAndBaselinesConcurrentQueriesMatchSerial) {
+  const Graph g = HolmeKim(150, 4, 0.5, 25);
+  const GctIndex gct = GctIndex::Build(g);
+  const HybridSearcher hybrid(g, gct);
+  CheckConcurrentEqualsSerial(hybrid, 4);
+  const CompDivSearcher comp(g);
+  CheckConcurrentEqualsSerial(comp, 4);
+  const CoreDivSearcher core(g);
+  CheckConcurrentEqualsSerial(core, 4);
+}
+
+TEST(SharedSearcherTest, DynamicIndexConcurrentQueriesBetweenUpdates) {
+  const Graph g = HolmeKim(150, 4, 0.5, 26);
+  DynamicTsdIndex dynamic(g);
+  dynamic.InsertEdge(0, 140);  // mutate first, then serve concurrently
+  CheckConcurrentEqualsSerial(dynamic, 4);
+}
+
+TEST(SharedSearcherTest, ConcurrentBatchesMatchSerial) {
+  const Graph g = HolmeKim(200, 5, 0.6, 27);
+  const GctIndex gct = GctIndex::Build(g);
+  const std::vector<BatchQuery> queries = TestQueries();
+  const std::vector<TopRResult> reference = SerialReference(gct, queries);
+
+  std::vector<std::vector<TopRResult>> per_client(4);
+  std::vector<std::thread> clients;
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      QuerySession session;
+      per_client[c] = gct.SearchBatch(queries, session);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    ASSERT_EQ(per_client[c].size(), queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      ExpectSameEntries(reference[q], per_client[c][q],
+                        "batch client=" + std::to_string(c) +
+                            " q=" + std::to_string(q));
+    }
+  }
+}
+
+// The default-session convenience overloads must agree with the session
+// path (source compatibility is not enough; results must match too).
+TEST(SharedSearcherTest, DefaultSessionMatchesExplicitSession) {
+  const Graph g = HolmeKim(150, 4, 0.5, 28);
+  GctIndex gct = GctIndex::Build(g);
+  QuerySession session;
+  for (const BatchQuery& q : TestQueries()) {
+    ExpectSameEntries(gct.TopR(q.r, q.k, session), gct.TopR(q.r, q.k),
+                      "default-session k=" + std::to_string(q.k));
+  }
+}
+
+TEST(ServeLoopTest, RepliesMatchSerialTopR) {
+  const Graph g = HolmeKim(200, 5, 0.6, 31);
+  const GctIndex gct = GctIndex::Build(g);
+  const std::vector<BatchQuery> queries = TestQueries();
+  const std::vector<TopRResult> reference = SerialReference(gct, queries);
+
+  ServeLoop loop(gct);
+  loop.Start();
+  std::vector<Future<ServeReply>> futures;
+  for (const BatchQuery& q : queries) {
+    futures.push_back(loop.Submit(ServeRequest{7, q.k, q.r}));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ServeReply reply = futures[i].Get();
+    ASSERT_EQ(reply.status, ServeStatus::kOk);
+    ExpectSameEntries(reference[i], reply.result,
+                      "serve q=" + std::to_string(i));
+  }
+  loop.Shutdown();
+  const ServeStats stats = loop.stats();
+  EXPECT_EQ(stats.accepted, queries.size());
+  EXPECT_EQ(stats.served, queries.size());
+}
+
+TEST(ServeLoopTest, ConcurrentClientsGetSerialAnswers) {
+  const Graph g = HolmeKim(200, 5, 0.6, 32);
+  const GctIndex gct = GctIndex::Build(g);
+  const std::vector<BatchQuery> queries = TestQueries();
+  const std::vector<TopRResult> reference = SerialReference(gct, queries);
+
+  ServeOptions options;
+  options.max_batch = 5;  // force several coalesced batches under load
+  ServeLoop loop(gct, options);
+  loop.Start();
+
+  constexpr std::uint32_t kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < 3; ++round) {
+        std::vector<Future<ServeReply>> futures;
+        for (const BatchQuery& q : queries) {
+          futures.push_back(loop.Submit(ServeRequest{c, q.k, q.r}));
+        }
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          ServeReply reply = futures[i].Get();
+          if (reply.status != ServeStatus::kOk ||
+              reply.result.entries.size() != reference[i].entries.size()) {
+            failures[c] = "bad reply q=" + std::to_string(i);
+            return;
+          }
+          for (std::size_t e = 0; e < reference[i].entries.size(); ++e) {
+            if (reply.result.entries[e].vertex !=
+                    reference[i].entries[e].vertex ||
+                reply.result.entries[e].score !=
+                    reference[i].entries[e].score ||
+                reply.result.entries[e].contexts !=
+                    reference[i].entries[e].contexts) {
+              failures[c] = "mismatch q=" + std::to_string(i) +
+                            " rank=" + std::to_string(e);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+
+  loop.Shutdown();
+  const ServeStats stats = loop.stats();
+  EXPECT_EQ(stats.accepted, kClients * 3 * queries.size());
+  EXPECT_EQ(stats.served, stats.accepted);
+  std::uint64_t histogram_total = 0;
+  for (std::size_t s = 1; s < stats.batch_size_count.size(); ++s) {
+    histogram_total += s * stats.batch_size_count[s];
+    EXPECT_LE(s, 5u) << "batch exceeded max_batch";
+  }
+  EXPECT_EQ(histogram_total, stats.served);
+}
+
+// Requests submitted before Start() coalesce into one deterministic batch.
+TEST(ServeLoopTest, PreStartSubmissionsCoalesceIntoOneBatch) {
+  const Graph g = HolmeKim(150, 4, 0.5, 33);
+  const GctIndex gct = GctIndex::Build(g);
+  ServeLoop loop(gct);
+  std::vector<Future<ServeReply>> futures;
+  for (const BatchQuery& q : TestQueries()) {
+    futures.push_back(loop.Submit(ServeRequest{1, q.k, q.r}));
+  }
+  loop.Start();
+  for (Future<ServeReply>& f : futures) {
+    EXPECT_EQ(f.Get().status, ServeStatus::kOk);
+  }
+  loop.Shutdown();
+  const ServeStats stats = loop.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  ASSERT_EQ(stats.batch_size_count.size(), TestQueries().size() + 1);
+  EXPECT_EQ(stats.batch_size_count[TestQueries().size()], 1u);
+}
+
+TEST(ServeLoopTest, AdmissionControlRejectsDeterministically) {
+  const Graph g = HolmeKim(100, 4, 0.5, 34);
+  const GctIndex gct = GctIndex::Build(g);
+  ServeOptions options;
+  options.max_r = 10;
+  options.max_queue_depth = 2;
+  ServeLoop loop(gct, options);  // not started: depth cannot drain
+
+  EXPECT_EQ(loop.Submit(ServeRequest{1, 3, 11}).Get().status,
+            ServeStatus::kRejectedRLimit);
+  EXPECT_EQ(loop.Submit(ServeRequest{1, 1, 5}).Get().status,
+            ServeStatus::kRejectedBadQuery);
+  EXPECT_EQ(loop.Submit(ServeRequest{1, 3, 0}).Get().status,
+            ServeStatus::kRejectedBadQuery);
+
+  // Tenant 1 fills its depth; tenant 2 is unaffected.
+  Future<ServeReply> a = loop.Submit(ServeRequest{1, 3, 5});
+  Future<ServeReply> b = loop.Submit(ServeRequest{1, 4, 5});
+  EXPECT_EQ(loop.Submit(ServeRequest{1, 5, 5}).Get().status,
+            ServeStatus::kRejectedQueueDepth);
+  Future<ServeReply> c = loop.Submit(ServeRequest{2, 3, 5});
+
+  loop.Shutdown();  // starts, drains the accepted four, joins
+  EXPECT_EQ(a.Get().status, ServeStatus::kOk);
+  EXPECT_EQ(b.Get().status, ServeStatus::kOk);
+  EXPECT_EQ(c.Get().status, ServeStatus::kOk);
+  EXPECT_EQ(loop.Submit(ServeRequest{1, 3, 5}).Get().status,
+            ServeStatus::kRejectedShutdown);
+
+  const ServeStats stats = loop.stats();
+  EXPECT_EQ(stats.rejected_r_limit, 1u);
+  EXPECT_EQ(stats.rejected_bad_query, 2u);
+  EXPECT_EQ(stats.rejected_queue_depth, 1u);
+  EXPECT_EQ(stats.rejected_shutdown, 1u);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.served, 3u);
+}
+
+// A throwing searcher must not take the server down: its batch's futures
+// resolve to kInternalError and the loop keeps serving.
+TEST(ServeLoopTest, ThrowingSearcherFailsRequestsNotTheServer) {
+  class ThrowingSearcher : public DiversitySearcher {
+   public:
+    TopRResult TopR(std::uint32_t, std::uint32_t,
+                    QuerySession&) const override {
+      throw CheckError("synthetic query failure");
+    }
+    std::string name() const override { return "throwing"; }
+  };
+
+  ThrowingSearcher searcher;
+  ServeLoop loop(searcher);
+  Future<ServeReply> a = loop.Submit(ServeRequest{1, 3, 5});
+  Future<ServeReply> b = loop.Submit(ServeRequest{2, 4, 5});
+  loop.Start();
+  EXPECT_EQ(a.Get().status, ServeStatus::kInternalError);
+  EXPECT_EQ(b.Get().status, ServeStatus::kInternalError);
+  // The server survived; later requests still get (error) replies.
+  EXPECT_EQ(loop.Submit(ServeRequest{3, 2, 1}).Get().status,
+            ServeStatus::kInternalError);
+  loop.Shutdown();
+  const ServeStats stats = loop.stats();
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+// The stdin protocol transcript must be byte-identical across server
+// pipeline thread counts (the CI smoke asserts the same end to end).
+TEST(StdinProtoTest, TranscriptByteStableAcrossServerThreads) {
+  const Graph g = HolmeKim(200, 5, 0.6, 35);
+  const GctIndex gct = GctIndex::Build(g);
+  const std::string script =
+      "# multi-tenant script\n"
+      "q 1 3 5\n"
+      "q 2 4 10\n"
+      "q 1 2 3\n"
+      "flush\n"
+      "q 3 5 2\n"
+      "q 2 3 2000\n"  // r-limit rejection (max_r default 1024)
+      "bogus line\n"
+      "q 4 6 1\n";
+
+  auto run = [&](std::uint32_t threads) {
+    ServeOptions options;
+    options.query_options.num_threads = threads;
+    ServeLoop loop(gct, options);
+    std::istringstream in(script);
+    std::ostringstream out;
+    const StdinProtoStats stats = RunStdinProto(in, out, loop);
+    loop.Shutdown();
+    EXPECT_EQ(stats.requests, 6u);
+    EXPECT_EQ(stats.parse_errors, 1u);
+    return out.str();
+  };
+
+  const std::string t1 = run(1);
+  const std::string t4 = run(4);
+  EXPECT_EQ(t1, t4);
+  EXPECT_NE(t1.find("= 1 ok"), std::string::npos);
+  EXPECT_NE(t1.find("= 5 rejected:r-limit"), std::string::npos);
+  EXPECT_NE(t1.find("! parse-error line 8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsd

@@ -8,6 +8,7 @@
 //   tsdtool build  <edge-list> --out=<index> [--index=gct|tsd]
 //   tsdtool query  --index-file=<index> [--k=3] [--r=10] [--index=gct|tsd]
 //   tsdtool gen    --out=<file> [--model=hk|ba|er|rmat] [--n=10000] ...
+//   tsdtool serve  <edge-list> --stdin-proto [--method=gct]  query server
 //
 // Edge lists are SNAP-style text ("u v" per line, '#' comments).
 #include <algorithm>
@@ -28,6 +29,8 @@
 #include "core/query_pipeline.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
+#include "server/serve_loop.h"
+#include "server/stdin_proto.h"
 #include "truss/parallel_truss.h"
 #include "truss/truss_decomposition.h"
 
@@ -58,6 +61,15 @@ int Usage() {
       "[--seed=1]\n"
       "                                            generate a synthetic "
       "graph\n"
+      "  serve <edge-list> --stdin-proto [--method=gct] [--threads=1]\n"
+      "        [--max-r=1024] [--max-depth=1024] [--max-batch=64]\n"
+      "                                            concurrent query server\n"
+      "                                            driven by a line protocol\n"
+      "                                            on stdin ('q <tenant> <k>\n"
+      "                                            <r>' / 'flush'); replies\n"
+      "                                            in submission order on\n"
+      "                                            stdout, byte-stable at\n"
+      "                                            any --threads\n"
       "methods: gct tsd online bound comp core\n"
       "--threads=N runs the query pipeline on N workers — including the\n"
       "preprocessing stages: the global truss decomposition behind stats and\n"
@@ -313,6 +325,50 @@ int RunQuery(const Flags& flags) {
   return 0;
 }
 
+int RunServe(const Graph& g, const Flags& flags) {
+  if (!flags.GetBool("stdin-proto", false)) {
+    std::cerr << "serve currently requires --stdin-proto (line protocol on "
+                 "stdin)\n";
+    return Usage();
+  }
+  SearcherHolder holder = MakeSearcher(g, flags.GetString("method", "gct"));
+  if (holder.active == nullptr) return Usage();
+
+  ServeOptions options;
+  options.query_options = QueryOptionsFromFlags(flags);
+  options.max_r = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("max-r", 1024)));
+  options.max_queue_depth = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("max-depth", 1024)));
+  options.max_batch = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("max-batch", 64)));
+
+  ServeLoop loop(*holder.active, options);
+  const StdinProtoStats driver = RunStdinProto(std::cin, std::cout, loop);
+  loop.Shutdown();
+
+  // Serving diagnostics to stderr so the stdout transcript stays
+  // byte-stable across thread counts and batch shapes.
+  const ServeStats stats = loop.stats();
+  std::cerr << "serve: method=" << holder.active->name()
+            << " requests=" << driver.requests
+            << " parse-errors=" << driver.parse_errors
+            << " accepted=" << stats.accepted << " served=" << stats.served
+            << " failed=" << stats.failed
+            << " rejected(r-limit=" << stats.rejected_r_limit
+            << " depth=" << stats.rejected_queue_depth
+            << " bad=" << stats.rejected_bad_query
+            << ") batches=" << stats.batches << "\n";
+  std::cerr << "coalescing batch sizes:";
+  for (std::size_t s = 1; s < stats.batch_size_count.size(); ++s) {
+    if (stats.batch_size_count[s] > 0) {
+      std::cerr << " " << s << "x" << stats.batch_size_count[s];
+    }
+  }
+  std::cerr << "\n";
+  return 0;
+}
+
 int RunGen(const Flags& flags) {
   TSD_CHECK_MSG(flags.Has("out"), "gen requires --out=<file>");
   const std::string model = flags.GetString("model", "hk");
@@ -355,6 +411,7 @@ int Run(int argc, char** argv) {
     if (command == "batch") return RunBatch(g, flags);
     if (command == "score") return RunScore(g, flags);
     if (command == "build") return RunBuild(g, flags);
+    if (command == "serve") return RunServe(g, flags);
   } catch (const CheckError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
