@@ -41,18 +41,21 @@ class Promise {
  public:
   Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
   Promise(Promise&&) noexcept = default;
-  Promise& operator=(Promise&&) noexcept = default;
   Promise(const Promise&) = delete;
   Promise& operator=(const Promise&) = delete;
 
-  ~Promise() {
-    if (state_ == nullptr) return;
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    if (!state_->value.has_value()) {
-      state_->abandoned = true;
-      state_->ready_cv.notify_all();
+  /// Move assignment abandons the currently-held state (if unfulfilled)
+  /// before adopting the new one, so a Future already blocked in Get() on
+  /// the old state fails the abandonment check instead of hanging silently.
+  Promise& operator=(Promise&& other) noexcept {
+    if (this != &other) {
+      Abandon();
+      state_ = std::move(other.state_);
     }
+    return *this;
   }
+
+  ~Promise() { Abandon(); }
 
   /// The (single) future observing this promise.
   Future<T> GetFuture() { return Future<T>(state_); }
@@ -68,6 +71,15 @@ class Promise {
   }
 
  private:
+  void Abandon() noexcept {
+    if (state_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (!state_->value.has_value()) {
+      state_->abandoned = true;
+      state_->ready_cv.notify_all();
+    }
+  }
+
   std::shared_ptr<internal::FutureState<T>> state_;
 };
 

@@ -7,12 +7,14 @@
 // which is what lets pop run without any atomic RMW at all.
 //
 // Blocking: the queue itself never blocks. ConsumerWait() parks the consumer
-// until a producer signals; producers acquire the (otherwise uncontended)
-// wake mutex only to publish the wake-up, never around the data path. The
-// empty critical section in NotifyOne() is what closes the classic lost
-// wake-up race: a producer that pushes between the consumer's empty check
-// and its wait must then wait for the consumer to release the mutex (i.e. to
-// actually be inside wait), so its notification cannot be missed.
+// until a producer signals; producers touch the wake mutex only when the
+// consumer is actually parked (a seq_cst-published flag), so while the
+// consumer is busy draining, Push stays lock-free end to end. The lost
+// wake-up race is closed in two layers: seq_cst fences order "publish value,
+// then read parked flag" (producer) against "set parked flag, then check
+// empty" (consumer), so at least one side observes the other; and when the
+// producer does notify, the empty critical section in NotifyOne() makes it
+// wait for the consumer to be genuinely inside wait() before signalling.
 //
 // Per-producer FIFO order is preserved; orders from different producers
 // interleave arbitrarily (which is fine: the serve loop's replies are a pure
@@ -82,13 +84,24 @@ class MpscQueue {
   template <typename WakeFn>
   void ConsumerWait(WakeFn&& wake) {
     std::unique_lock<std::mutex> lock(wake_mutex_);
+    // Publish "parked" before the first predicate check so that a producer
+    // whose push the check misses is guaranteed to see the flag and notify
+    // (the seq_cst fences on both sides forbid both misses at once). While
+    // the flag stays set, every Push notifies under the mutex, which covers
+    // all later re-checks after spurious or real wakeups.
+    consumer_parked_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     wake_cv_.wait(lock, std::forward<WakeFn>(wake));
+    consumer_parked_.store(false, std::memory_order_relaxed);
   }
 
   /// Wakes the consumer if it is parked in ConsumerWait. Used by Push and by
   /// external state changes the consumer's wake predicate observes (e.g. the
-  /// serve loop's shutdown flag).
+  /// serve loop's shutdown flag). When the consumer is not parked this is a
+  /// fence plus one relaxed load — no mutex traffic.
   void NotifyOne() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!consumer_parked_.load(std::memory_order_relaxed)) return;
     { std::lock_guard<std::mutex> lock(wake_mutex_); }  // lost-wakeup fence
     wake_cv_.notify_one();
   }
@@ -112,6 +125,7 @@ class MpscQueue {
 
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
+  std::atomic<bool> consumer_parked_{false};
 };
 
 }  // namespace tsd

@@ -71,6 +71,10 @@ Future<ServeReply> ServeLoop::Submit(const ServeRequest& request) {
   queued_.fetch_add(1);
   if (!accepting_.load()) {
     queued_.fetch_sub(1);
+    // The server may have parked on (!accepting_ && queued_ == 0) while our
+    // transient increment was visible; re-notify so the exit predicate is
+    // re-evaluated, otherwise Shutdown()'s join() can hang forever.
+    queue_.NotifyOne();
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.rejected_shutdown;
     return RejectNow(ServeStatus::kRejectedShutdown);
@@ -81,6 +85,7 @@ Future<ServeReply> ServeLoop::Submit(const ServeRequest& request) {
     std::uint32_t& depth = depth_[request.tenant];
     if (depth >= options_.max_queue_depth) {
       queued_.fetch_sub(1);
+      queue_.NotifyOne();  // same transient-increment race as above
       ++stats_.rejected_queue_depth;
       return RejectNow(ServeStatus::kRejectedQueueDepth);
     }
@@ -113,7 +118,9 @@ void ServeLoop::ServeBatch(std::vector<Pending>& batch) {
   try {
     results = searcher_.SearchBatch(queries, session_);
     TSD_CHECK(results.size() == batch.size());
-  } catch (const std::exception&) {
+  } catch (...) {
+    // catch-everything: a non-std exception escaping here would unwind the
+    // server thread and std::terminate the process.
     ok = false;
   }
 

@@ -505,5 +505,18 @@ TEST(FutureTest, AbandonedPromiseFailsGetLoudly) {
   EXPECT_THROW(future.Get(), CheckError);
 }
 
+TEST(FutureTest, MoveAssignmentAbandonsOldState) {
+  // Move-assigning over an engaged, unfulfilled promise must abandon the
+  // old state (hard Get() failure), not silently drop it and hang a waiter.
+  Promise<int> promise;
+  Future<int> old_future = promise.GetFuture();
+  Promise<int> replacement;
+  Future<int> new_future = replacement.GetFuture();
+  promise = std::move(replacement);
+  EXPECT_THROW(old_future.Get(), CheckError);
+  promise.Set(11);  // the adopted state still works normally
+  EXPECT_EQ(new_future.Get(), 11);
+}
+
 }  // namespace
 }  // namespace tsd

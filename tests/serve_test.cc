@@ -12,6 +12,7 @@
 //    server pipeline threads.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <string>
@@ -255,6 +256,49 @@ TEST(ServeLoopTest, ConcurrentClientsGetSerialAnswers) {
     EXPECT_LE(s, 5u) << "batch exceeded max_batch";
   }
   EXPECT_EQ(histogram_total, stats.served);
+}
+
+// Regression for the shutdown deadlock: a rejecting Submit transiently
+// increments queued_ and must re-notify the server after decrementing, or a
+// server parked on the exit predicate (!accepting_ && queued_ == 0) never
+// re-checks it and Shutdown()'s join() hangs. Hammer both rejection flavors
+// (queue-depth while serving, shutdown-rejection while draining) from
+// several threads racing Shutdown(); the test completing is the assertion.
+TEST(ServeLoopTest, RejectionsRacingShutdownDoNotDeadlock) {
+  const Graph g = HolmeKim(120, 4, 0.5, 33);
+  const GctIndex gct = GctIndex::Build(g);
+  ServeOptions options;
+  options.max_queue_depth = 1;  // every concurrent same-tenant burst rejects
+  ServeLoop loop(gct, options);
+  loop.Start();
+
+  constexpr std::uint32_t kClients = 4;
+  std::vector<std::thread> clients;
+  std::atomic<std::uint64_t> resolved{0};
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        // Shared tenant 0 so the depth-1 cap rejects most of the burst.
+        Future<ServeReply> f = loop.Submit(ServeRequest{0, 3, 2});
+        ServeReply reply = f.Get();
+        ASSERT_TRUE(reply.status == ServeStatus::kOk ||
+                    reply.status == ServeStatus::kRejectedQueueDepth ||
+                    reply.status == ServeStatus::kRejectedShutdown);
+        resolved.fetch_add(1);
+      }
+    });
+  }
+  // Race the shutdown against the in-flight bursts (no sleep: the interesting
+  // interleaving is Submit passing the accepting_ check around the flip).
+  loop.Shutdown();
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(resolved.load(), kClients * 200u);
+
+  const ServeStats stats = loop.stats();
+  EXPECT_EQ(stats.accepted, stats.served);
+  EXPECT_EQ(stats.accepted + stats.rejected_queue_depth +
+                stats.rejected_shutdown,
+            kClients * 200u);
 }
 
 // Requests submitted before Start() coalesce into one deterministic batch.
