@@ -1,23 +1,29 @@
-// Serving-layer throughput: queries/sec through ServeLoop as the number of
-// client threads grows, plus the coalescing batch-size distribution.
+// Serving-layer throughput: queries/sec through the (sharded) serve loop as
+// client threads and shard counts grow, plus per-shard coalescing
+// batch-size distributions and a microbench of the admission-path tenant
+// depth table.
 //
-// Each client thread submits a seeded stream of (k, r) requests through the
-// MPSC queue and blocks on its futures; the single server thread coalesces
-// whatever is in flight into SearchBatch calls over one shared immutable
-// GCT index. Under concurrent load the in-flight window grows, batches
-// form, and the per-request cost drops (the batch engine amortizes the
-// per-vertex slice sweep across tenants) — the distribution line makes the
-// coalescing visible. Every reply is spot-checked against serial TopR.
+// Each client thread submits a seeded stream of (k, r) requests through its
+// tenant's shard queue and blocks on its futures; every shard's consumer
+// thread coalesces whatever is in flight into SearchBatch calls over one
+// shared immutable GCT index. Under concurrent load the in-flight window
+// grows, batches form, and the per-request cost drops (the batch engine
+// amortizes the per-vertex slice sweep across tenants). Sharding adds
+// inter-batch parallelism on top: S consumers dispatch S batches
+// concurrently, at the price of splitting the coalescing pool S ways — the
+// per-shard distribution lines make that trade visible. Every reply is
+// spot-checked against serial TopR.
 #include <cstdint>
 #include <iostream>
-#include <map>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/gct_index.h"
 #include "core/query_session.h"
-#include "server/serve_loop.h"
+#include "server/sharded_serve.h"
+#include "server/tenant_table.h"
 
 namespace {
 
@@ -47,6 +53,77 @@ std::vector<BatchQuery> RequestMix(const Graph& g) {
   return mix;
 }
 
+/// Admission hot-path microbench: the per-tenant depth bookkeeping every
+/// Submit performs, over the flat pre-hashed TenantDepthTable vs the
+/// std::unordered_map it replaced (which re-hashed the key and chased a
+/// node pointer per operation). Synthetic submit/drain cycles over a
+/// rotating tenant population.
+void AdmissionMicrobench() {
+  constexpr std::uint64_t kOps = 400000;
+  constexpr std::uint64_t kTenants = 512;
+  constexpr std::uint32_t kCap = 16;
+
+  WallTimer flat_timer;
+  TenantDepthTable table;
+  std::uint64_t flat_admitted = 0;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const std::uint64_t tenant = i % kTenants;
+    const std::uint64_t hash = Hash64(tenant);  // the router pays this once
+    if (table.TryIncrement(tenant, hash, kCap)) ++flat_admitted;
+    if (i % 3 == 2) table.Decrement(tenant, hash);
+  }
+  // Drain so the timing covers the erase path too.
+  for (std::uint64_t tenant = 0; tenant < kTenants; ++tenant) {
+    const std::uint64_t hash = Hash64(tenant);
+    while (table.Depth(tenant, hash) > 0) table.Decrement(tenant, hash);
+  }
+  const double flat_seconds = flat_timer.Seconds();
+
+  WallTimer map_timer;
+  std::unordered_map<std::uint64_t, std::uint32_t> map;
+  std::uint64_t map_admitted = 0;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    const std::uint64_t tenant = i % kTenants;
+    std::uint32_t& depth = map[tenant];  // hashes the key again, every op
+    if (depth < kCap) {
+      ++depth;
+      ++map_admitted;
+    }
+    if (i % 3 == 2) {
+      auto it = map.find(tenant);
+      if (it->second <= 1) {
+        map.erase(it);
+      } else {
+        --it->second;
+      }
+    }
+  }
+  // Mirror the flat table's per-op drain so both timings cover the same
+  // operation sequence, erase path included.
+  for (std::uint64_t tenant = 0; tenant < kTenants; ++tenant) {
+    auto it = map.find(tenant);
+    while (it != map.end() && it->second > 0) {
+      if (it->second <= 1) {
+        map.erase(it);
+        it = map.find(tenant);
+      } else {
+        --it->second;
+      }
+    }
+  }
+  const double map_seconds = map_timer.Seconds();
+
+  std::cout << "\nadmission-path microbench (" << WithThousands(kOps)
+            << " submit ops, " << kTenants << " tenants, depth cap " << kCap
+            << "):\n  TenantDepthTable (pre-hashed, flat): "
+            << FormatDouble(flat_seconds * 1e9 / kOps, 1)
+            << " ns/op\n  std::unordered_map (re-hash + node): "
+            << FormatDouble(map_seconds * 1e9 / kOps, 1) << " ns/op\n"
+            << "  admitted " << flat_admitted << " vs " << map_admitted
+            << " (must match: " << (flat_admitted == map_admitted ? "yes" : "NO")
+            << ")\n";
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::string scale = flags.BenchScale();
@@ -55,7 +132,8 @@ int Run(int argc, char** argv) {
   const auto max_batch =
       static_cast<std::uint32_t>(flags.GetInt("max-batch", 64));
   bench::PrintHeader("Serving throughput",
-                     "queries/sec vs client threads over one shared index",
+                     "queries/sec vs client threads x shards over one shared "
+                     "index",
                      scale);
 
   const std::string dataset = flags.GetString("dataset", "email-enron");
@@ -78,86 +156,107 @@ int Run(int argc, char** argv) {
     }
   }
 
-  TablePrinter table({"clients", "requests", "wall", "qps", "batches",
-                      "mean batch", "max batch", "identical"});
+  TablePrinter table({"shards", "clients", "requests", "wall", "qps",
+                      "batches", "mean batch", "max batch", "identical"});
   std::vector<std::string> distributions;
-  for (std::uint32_t clients : {1u, 2u, 4u, 8u}) {
-    ServeOptions options;
-    options.max_batch = max_batch;
-    options.max_queue_depth = requests_per_client + 1;  // no depth rejects
-    ServeLoop loop(gct, options);
-    loop.Start();
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    for (std::uint32_t clients : {1u, 2u, 4u, 8u}) {
+      ShardedServeOptions options;
+      options.num_shards = shards;
+      options.shard.max_batch = max_batch;
+      options.shard.max_queue_depth = requests_per_client + 1;  // no rejects
+      ShardedServeLoop loop(gct, options);
+      loop.Start();
 
-    std::vector<char> client_ok(clients, 1);
-    WallTimer timer;
-    std::vector<std::thread> threads;
-    for (std::uint32_t c = 0; c < clients; ++c) {
-      threads.emplace_back([&, c] {
-        // Pipelined submission with a bounded in-flight window, the shape
-        // of a real client: coalescing opportunities come from many
-        // *clients*, not from one client dumping its whole stream.
-        constexpr std::uint32_t kWindow = 4;
-        std::vector<std::pair<std::size_t, Future<ServeReply>>> window;
-        auto drain_one = [&] {
-          auto [mix_index, future] = std::move(window.front());
-          window.erase(window.begin());
-          ServeReply reply = future.Get();
-          if (reply.status != ServeStatus::kOk ||
-              !SameEntries(reply.result, reference[mix_index])) {
-            client_ok[c] = 0;
+      std::vector<char> client_ok(clients, 1);
+      WallTimer timer;
+      std::vector<std::thread> threads;
+      for (std::uint32_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          // Pipelined submission with a bounded in-flight window, the shape
+          // of a real client: coalescing opportunities come from many
+          // *clients*, not from one client dumping its whole stream.
+          constexpr std::uint32_t kWindow = 4;
+          std::vector<std::pair<std::size_t, Future<ServeReply>>> window;
+          auto drain_one = [&] {
+            auto [mix_index, future] = std::move(window.front());
+            window.erase(window.begin());
+            ServeReply reply = future.Get();
+            if (reply.status != ServeStatus::kOk ||
+                !SameEntries(reply.result, reference[mix_index])) {
+              client_ok[c] = 0;
+            }
+          };
+          for (std::uint32_t i = 0; i < requests_per_client; ++i) {
+            const std::size_t mix_index = (i + c) % mix.size();
+            const BatchQuery& q = mix[mix_index];
+            window.emplace_back(mix_index,
+                                loop.Submit(ServeRequest{c, q.k, q.r}));
+            if (window.size() >= kWindow) drain_one();
           }
-        };
-        for (std::uint32_t i = 0; i < requests_per_client; ++i) {
-          const std::size_t mix_index = (i + c) % mix.size();
-          const BatchQuery& q = mix[mix_index];
-          window.emplace_back(mix_index,
-                              loop.Submit(ServeRequest{c, q.k, q.r}));
-          if (window.size() >= kWindow) drain_one();
-        }
-        while (!window.empty()) drain_one();
-      });
-    }
-    for (std::thread& t : threads) t.join();
-    const double wall = timer.Seconds();
-    loop.Shutdown();
+          while (!window.empty()) drain_one();
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double wall = timer.Seconds();
+      loop.Shutdown();
 
-    const ServeStats stats = loop.stats();
-    bool identical = true;
-    for (char ok : client_ok) identical = identical && ok;
-    std::uint64_t max_size = 0;
-    std::uint64_t weighted = 0;
-    std::string distribution;
-    for (std::size_t s = 1; s < stats.batch_size_count.size(); ++s) {
-      if (stats.batch_size_count[s] == 0) continue;
-      max_size = s;
-      weighted += s * stats.batch_size_count[s];
-      distribution += " " + std::to_string(s) + "x" +
-                      std::to_string(stats.batch_size_count[s]);
+      const ServeStats stats = loop.stats();
+      bool identical = true;
+      for (char ok : client_ok) identical = identical && ok;
+      std::uint64_t max_size = 0;
+      std::uint64_t weighted = 0;
+      for (std::size_t s = 1; s < stats.batch_size_count.size(); ++s) {
+        if (stats.batch_size_count[s] == 0) continue;
+        max_size = s;
+        weighted += s * stats.batch_size_count[s];
+      }
+      // Per-shard coalescing distributions: sharding splits the in-flight
+      // pool, so shard-local batches are smaller than the 1-shard batches
+      // at the same client count — the price paid for parallel dispatch.
+      for (std::uint32_t s = 0; s < loop.num_shards(); ++s) {
+        const ServeStats shard = loop.shard_stats(s);
+        std::string line = "shards=" + std::to_string(shards) +
+                           " clients=" + std::to_string(clients) + " shard " +
+                           std::to_string(s) + ":";
+        for (std::size_t b = 1; b < shard.batch_size_count.size(); ++b) {
+          if (shard.batch_size_count[b] == 0) continue;
+          line += " " + std::to_string(b) + "x" +
+                  std::to_string(shard.batch_size_count[b]);
+        }
+        distributions.push_back(std::move(line));
+      }
+      const std::uint64_t total =
+          std::uint64_t{clients} * requests_per_client;
+      table.Row(std::uint64_t{shards}, std::uint64_t{clients}, total,
+                HumanSeconds(wall),
+                WithThousands(static_cast<std::uint64_t>(
+                    total / std::max(wall, 1e-9))),
+                stats.batches,
+                FormatDouble(static_cast<double>(weighted) /
+                                 std::max<std::uint64_t>(1, stats.batches),
+                             2),
+                max_size, identical ? "yes" : "NO");
     }
-    distributions.push_back("clients=" + std::to_string(clients) + ":" +
-                            distribution);
-    const std::uint64_t total = std::uint64_t{clients} * requests_per_client;
-    table.Row(std::uint64_t{clients}, total, HumanSeconds(wall),
-              WithThousands(static_cast<std::uint64_t>(
-                  total / std::max(wall, 1e-9))),
-              stats.batches,
-              FormatDouble(static_cast<double>(weighted) /
-                               std::max<std::uint64_t>(1, stats.batches),
-                           2),
-              max_size, identical ? "yes" : "NO");
   }
   table.Print(std::cout);
 
-  std::cout << "\ncoalescing batch-size distribution (size x count):\n";
+  std::cout << "\nper-shard coalescing batch-size distribution (size x "
+               "count):\n";
   for (const std::string& line : distributions) {
     std::cout << "  " << line << "\n";
   }
   std::cout << "\nExpected shape: at 1 client batches stay small (the window "
-               "bounds in-flight\nrequests); with more clients the server "
-               "finds multi-request batches and the\nmean batch size grows — "
-               "amortization the single-client path cannot reach.\n'identical'"
-               " must read yes everywhere (replies are bit-identical to "
-               "serial TopR).\n";
+               "bounds in-flight\nrequests); with more clients the consumers "
+               "find multi-request batches and the\nmean batch size grows. "
+               "Adding shards parallelizes dispatch but splits the\n"
+               "coalescing pool: per-shard batches shrink at a fixed client "
+               "count, so shards\npay off when consumers — not batching — are "
+               "the bottleneck (many tiny\nqueries, multi-core servers). "
+               "'identical' must read yes everywhere (replies\nare "
+               "bit-identical to serial TopR at any shard count).\n";
+
+  AdmissionMicrobench();
   return 0;
 }
 

@@ -11,6 +11,10 @@
 //     and get futures; a single server thread coalesces whatever is in
 //     flight into amortized SearchBatch calls and enforces per-tenant
 //     limits. Same answers, plus cross-tenant batching.
+//  3. ShardedServeLoop — the same contract over S independent consumer
+//     loops with tenants hashed across them (`tsdtool serve --shards=N`):
+//     S batches dispatch concurrently, each tenant pinned to one shard so
+//     its admission and ordering stay deterministic. Same answers again.
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -20,6 +24,7 @@
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "server/serve_loop.h"
+#include "server/sharded_serve.h"
 
 int main() {
   using namespace tsd;
@@ -82,5 +87,44 @@ int main() {
   std::cout << "\nserved " << stats.served << " requests in "
             << stats.batches << " coalesced batches (r-limit rejections: "
             << stats.rejected_r_limit << ")\n";
+
+  // --- 3. ShardedServeLoop: two consumer loops, tenants hashed to shards.
+  ShardedServeOptions sharded_options;
+  sharded_options.num_shards = 2;
+  sharded_options.shard.max_r = 100;
+  ShardedServeLoop sharded(index, sharded_options);
+  sharded.Start();
+
+  std::vector<Future<ServeReply>> sharded_futures;
+  std::cout << "\nsharded loop (2 shards), tenant pinning:\n";
+  for (std::uint64_t tenant = 0; tenant < 6; ++tenant) {
+    std::cout << "  tenant " << tenant << " -> shard "
+              << sharded.ShardOf(tenant) << "\n";
+    for (std::uint32_t k = 3; k <= 5; ++k) {
+      sharded_futures.push_back(
+          sharded.Submit(ServeRequest{tenant, k, /*r=*/3}));
+    }
+  }
+  bool all_match = true;
+  for (std::size_t i = 0; i < sharded_futures.size(); ++i) {
+    ServeReply reply = sharded_futures[i].Get();
+    // Same (k, r) as the single-consumer loop's tenant streams above:
+    // replies are a pure function of the request, so shard count is
+    // invisible in the answers.
+    all_match = all_match && reply.status == ServeStatus::kOk &&
+                reply.result.entries[0].vertex ==
+                    answers[0][i % 3].entries[0].vertex;
+  }
+  sharded.Shutdown();
+
+  const ServeStats sharded_stats = sharded.stats();
+  std::cout << "served " << sharded_stats.served << " requests across "
+            << sharded.num_shards() << " shards (";
+  for (std::uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    std::cout << (s ? ", " : "") << "shard " << s << ": "
+              << sharded.shard_stats(s).served;
+  }
+  std::cout << "), answers identical to the 1-consumer loop: "
+            << (all_match ? "yes" : "no") << "\n";
   return 0;
 }

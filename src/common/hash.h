@@ -1,0 +1,33 @@
+// Stateless 64-bit mixing hashes for sharding and hash tables.
+//
+// Mix64 is the SplitMix64 finalizer: a bijective avalanche mixer whose
+// output is a pure function of its input — no per-process salt, no
+// std::hash implementation-defined behaviour — so anything keyed on it
+// (tenant→shard assignment, on-disk layouts, test expectations) is stable
+// across runs, platforms, and thread counts. Hash64 is the *splittable*
+// form: each seed selects an independent hash function from the family
+// (the same golden-ratio stream SplitMix64 uses for splitting), so two
+// subsystems hashing the same keys (e.g. shard routing and a depth table)
+// can decorrelate by seed instead of sharing collision patterns.
+#pragma once
+
+#include <cstdint>
+
+namespace tsd {
+
+/// SplitMix64 finalizer. Bijective; Mix64(x) == 0 only for x == 0's unique
+/// preimage, and every output bit depends on every input bit.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Splittable keyed hash: seed s selects the hash function obtained by
+/// advancing the SplitMix64 stream s+1 steps before mixing. Hash64(x, a)
+/// and Hash64(x, b) are independent for a != b.
+inline std::uint64_t Hash64(std::uint64_t x, std::uint64_t seed = 0) {
+  return Mix64(x + (seed + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace tsd

@@ -9,15 +9,15 @@
 #include <cstdint>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace tsd {
 
-/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer. The
+/// finalizer is common/hash.h's Mix64, so one advancing step is exactly
+/// Hash64(old_state, 0).
 inline std::uint64_t SplitMix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return Mix64(state += 0x9e3779b97f4a7c15ULL);
 }
 
 /// xoshiro256** PRNG. Satisfies the UniformRandomBitGenerator concept.

@@ -1,7 +1,5 @@
-#include "server/serve_loop.h"
+#include "server/consumer_loop.h"
 
-#include <algorithm>
-#include <exception>
 #include <utility>
 
 #include "common/check.h"
@@ -26,22 +24,44 @@ const char* ServeStatusName(ServeStatus status) {
   return "unknown";
 }
 
-ServeLoop::ServeLoop(const DiversitySearcher& searcher,
-                     const ServeOptions& options)
+ServeStats& ServeStats::operator+=(const ServeStats& other) {
+  accepted += other.accepted;
+  served += other.served;
+  rejected_bad_query += other.rejected_bad_query;
+  rejected_r_limit += other.rejected_r_limit;
+  rejected_queue_depth += other.rejected_queue_depth;
+  rejected_shutdown += other.rejected_shutdown;
+  failed += other.failed;
+  batches += other.batches;
+  if (batch_size_count.size() < other.batch_size_count.size()) {
+    batch_size_count.resize(other.batch_size_count.size(), 0);
+  }
+  for (std::size_t s = 0; s < other.batch_size_count.size(); ++s) {
+    batch_size_count[s] += other.batch_size_count[s];
+  }
+  return *this;
+}
+
+ServeSubmitter::~ServeSubmitter() = default;
+
+namespace internal {
+
+ConsumerLoop::ConsumerLoop(const DiversitySearcher& searcher,
+                           const ServeOptions& options)
     : searcher_(searcher),
       options_(options),
       session_(options.query_options) {
   TSD_CHECK(options_.max_batch >= 1);
 }
 
-ServeLoop::~ServeLoop() { Shutdown(); }
+ConsumerLoop::~ConsumerLoop() { Shutdown(); }
 
-void ServeLoop::Start() {
+void ConsumerLoop::Start() {
   if (started_.exchange(true)) return;
-  server_ = std::thread([this] { RunLoop(); });
+  consumer_ = std::thread([this] { RunLoop(); });
 }
 
-Future<ServeReply> ServeLoop::RejectNow(ServeStatus status) {
+Future<ServeReply> ConsumerLoop::RejectNow(ServeStatus status) {
   Promise<ServeReply> promise;
   Future<ServeReply> future = promise.GetFuture();
   ServeReply reply;
@@ -50,10 +70,11 @@ Future<ServeReply> ServeLoop::RejectNow(ServeStatus status) {
   return future;
 }
 
-Future<ServeReply> ServeLoop::Submit(const ServeRequest& request) {
+Future<ServeReply> ConsumerLoop::Submit(const ServeRequest& request,
+                                        std::uint64_t tenant_hash) {
   // Admission control is synchronous and a pure function of (request,
   // tenant depth), so rejections are deterministic for a given submission
-  // sequence regardless of how fast the server drains.
+  // sequence regardless of how fast the consumer drains.
   if (request.k < 2 || request.r < 1) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.rejected_bad_query;
@@ -66,14 +87,14 @@ Future<ServeReply> ServeLoop::Submit(const ServeRequest& request) {
   }
 
   // The queued_ increment is ordered before the accepting_ load (both
-  // seq_cst) so the server's exit condition (!accepting_ && queued_ == 0)
+  // seq_cst) so the consumer's exit condition (!accepting_ && queued_ == 0)
   // cannot miss a request that already passed the shutdown check.
   queued_.fetch_add(1);
   if (!accepting_.load()) {
     queued_.fetch_sub(1);
-    // The server may have parked on (!accepting_ && queued_ == 0) while our
-    // transient increment was visible; re-notify so the exit predicate is
-    // re-evaluated, otherwise Shutdown()'s join() can hang forever.
+    // The consumer may have parked on (!accepting_ && queued_ == 0) while
+    // our transient increment was visible; re-notify so the exit predicate
+    // is re-evaluated, otherwise Shutdown()'s join() can hang forever.
     queue_.NotifyOne();
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.rejected_shutdown;
@@ -82,25 +103,25 @@ Future<ServeReply> ServeLoop::Submit(const ServeRequest& request) {
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::uint32_t& depth = depth_[request.tenant];
-    if (depth >= options_.max_queue_depth) {
+    if (!depth_.TryIncrement(request.tenant, tenant_hash,
+                             options_.max_queue_depth)) {
       queued_.fetch_sub(1);
       queue_.NotifyOne();  // same transient-increment race as above
       ++stats_.rejected_queue_depth;
       return RejectNow(ServeStatus::kRejectedQueueDepth);
     }
-    ++depth;
     ++stats_.accepted;
   }
 
   Pending pending;
   pending.request = request;
+  pending.tenant_hash = tenant_hash;
   Future<ServeReply> future = pending.promise.GetFuture();
   queue_.Push(std::move(pending));
   return future;
 }
 
-void ServeLoop::ServeBatch(std::vector<Pending>& batch) {
+void ConsumerLoop::ServeBatch(std::vector<Pending>& batch) {
   std::vector<BatchQuery> queries;
   queries.reserve(batch.size());
   for (const Pending& pending : batch) {
@@ -110,7 +131,7 @@ void ServeLoop::ServeBatch(std::vector<Pending>& batch) {
   // One coalesced SearchBatch: the amortized engine decomposes each
   // candidate once for every in-flight tenant. Replies are bit-identical to
   // per-query TopR, so coalescing is invisible in the response bytes. A
-  // throwing batch must not take down the server (an unwinding exception
+  // throwing batch must not take down the consumer (an unwinding exception
   // would std::terminate the thread and abandon every outstanding future):
   // its requests are fulfilled with kInternalError and serving continues.
   std::vector<TopRResult> results;
@@ -120,7 +141,7 @@ void ServeLoop::ServeBatch(std::vector<Pending>& batch) {
     TSD_CHECK(results.size() == batch.size());
   } catch (...) {
     // catch-everything: a non-std exception escaping here would unwind the
-    // server thread and std::terminate the process.
+    // consumer thread and std::terminate the process.
     ok = false;
   }
 
@@ -133,16 +154,10 @@ void ServeLoop::ServeBatch(std::vector<Pending>& batch) {
     ++stats_.batch_size_count[batch.size()];
     (ok ? stats_.served : stats_.failed) += batch.size();
     for (const Pending& pending : batch) {
-      auto it = depth_.find(pending.request.tenant);
-      TSD_DCHECK(it != depth_.end() && it->second > 0);
-      if (it == depth_.end()) continue;
-      // Erase drained tenants: ids are client-controlled u64s, so keeping
-      // one entry per tenant ever seen would grow without bound.
-      if (it->second <= 1) {
-        depth_.erase(it);
-      } else {
-        --it->second;
-      }
+      // Erase drained tenants (Decrement drops the slot at depth 0): ids
+      // are client-controlled u64s, so keeping one entry per tenant ever
+      // seen would grow without bound.
+      depth_.Decrement(pending.request.tenant, pending.tenant_hash);
     }
   }
 
@@ -158,7 +173,7 @@ void ServeLoop::ServeBatch(std::vector<Pending>& batch) {
   }
 }
 
-void ServeLoop::RunLoop() {
+void ConsumerLoop::RunLoop() {
   std::vector<Pending> batch;
   while (true) {
     batch.clear();
@@ -173,25 +188,29 @@ void ServeLoop::RunLoop() {
     }
     if (!accepting_.load() && queued_.load() == 0) break;
     queue_.ConsumerWait([this] {
-      return !queue_.Empty() ||
-             (!accepting_.load() && queued_.load() == 0);
+      return !queue_.Empty() || (!accepting_.load() && queued_.load() == 0);
     });
   }
 }
 
-void ServeLoop::Shutdown() {
+void ConsumerLoop::StopAccepting() {
+  accepting_.store(false);
+  queue_.NotifyOne();
+}
+
+void ConsumerLoop::Shutdown() {
   // Start first so requests accepted before Start() are still served — the
   // "drain everything accepted" contract holds even for a loop that never
   // ran.
   Start();
-  accepting_.store(false);
-  queue_.NotifyOne();
-  if (server_.joinable()) server_.join();
+  StopAccepting();
+  if (consumer_.joinable()) consumer_.join();
 }
 
-ServeStats ServeLoop::stats() const {
+ServeStats ConsumerLoop::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
 }
 
+}  // namespace internal
 }  // namespace tsd

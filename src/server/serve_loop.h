@@ -1,10 +1,11 @@
-// Concurrent serving layer over the shared-immutable searchers.
+// Single-consumer concurrent serving layer over the shared-immutable
+// searchers.
 //
 // The paper's query workload — many independent top-r queries against one
 // prebuilt index — is exactly the multi-tenant server shape. ServeLoop
 // turns a (const, immutable-after-build) DiversitySearcher into a service:
 // N client threads submit ServeRequests through a wait-free MPSC queue and
-// get futures back; one server thread drains the queue, **coalesces**
+// get futures back; one consumer thread drains the queue, **coalesces**
 // whatever is in flight into a single SearchBatch call (amortizing ego
 // decompositions / index sweeps across tenants exactly as the batch engine
 // amortizes them across k's), and fulfills the futures.
@@ -21,127 +22,50 @@
 // r < 1, or one that would push its tenant past the queue-depth limit, is
 // rejected immediately (the future is fulfilled with the rejection) and
 // never reaches the queue.
+//
+// ServeLoop is exactly one shard: the machinery (queue drain, coalesce,
+// fulfill, admission, stats) lives in internal::ConsumerLoop, which
+// server/sharded_serve.h replicates S ways with tenants hashed to shards
+// for inter-batch parallelism.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <mutex>
-#include <thread>
-#include <unordered_map>
-#include <vector>
-
-#include "common/future.h"
-#include "common/mpsc_queue.h"
-#include "core/query_session.h"
-#include "core/types.h"
+#include "server/consumer_loop.h"
+#include "server/serve_types.h"
 
 namespace tsd {
 
-/// One query from one tenant.
-struct ServeRequest {
-  std::uint64_t tenant = 0;
-  std::uint32_t k = 2;
-  std::uint32_t r = 10;
-};
-
-enum class ServeStatus : std::uint8_t {
-  kOk = 0,
-  kRejectedBadQuery,    // k < 2 or r < 1
-  kRejectedRLimit,      // r exceeds ServeOptions::max_r
-  kRejectedQueueDepth,  // tenant already has max_queue_depth in flight
-  kRejectedShutdown,    // submitted after Shutdown()
-  kInternalError,       // the batch's SearchBatch threw; server kept running
-};
-
-/// Human-readable status tag ("ok", "rejected:r-limit", ...) used by the
-/// line protocol and logs.
-const char* ServeStatusName(ServeStatus status);
-
-struct ServeReply {
-  ServeStatus status = ServeStatus::kOk;
-  TopRResult result;  // populated only when status == kOk
-};
-
-struct ServeOptions {
-  /// Per-request r cap (protects the context-materialization phase from a
-  /// single tenant asking for the whole graph).
-  std::uint32_t max_r = 1024;
-  /// Per-tenant in-flight request cap.
-  std::uint32_t max_queue_depth = 1024;
-  /// Coalescing cap: at most this many requests form one SearchBatch.
-  std::uint32_t max_batch = 64;
-  /// Pipeline knobs for the serving session (the "server threads").
-  QueryOptions query_options;
-};
-
-struct ServeStats {
-  std::uint64_t accepted = 0;
-  std::uint64_t served = 0;
-  std::uint64_t rejected_bad_query = 0;
-  std::uint64_t rejected_r_limit = 0;
-  std::uint64_t rejected_queue_depth = 0;
-  std::uint64_t rejected_shutdown = 0;
-  /// Requests whose batch threw (fulfilled with kInternalError).
-  std::uint64_t failed = 0;
-  std::uint64_t batches = 0;
-  /// batch_size_count[s] = number of dispatched batches that coalesced
-  /// exactly s requests (index 0 unused).
-  std::vector<std::uint64_t> batch_size_count;
-};
-
-class ServeLoop {
+class ServeLoop : public ServeSubmitter {
  public:
   /// `searcher` must outlive the loop and stay immutable while serving (the
   /// DiversitySearcher contract). The loop does not start serving until
   /// Start(); requests submitted before then queue up — and coalesce into
   /// the first batches — deterministically.
   explicit ServeLoop(const DiversitySearcher& searcher,
-                     const ServeOptions& options = {});
-
-  /// Shuts down (drains accepted requests) if still running.
-  ~ServeLoop();
+                     const ServeOptions& options = {})
+      : consumer_(searcher, options) {}
 
   ServeLoop(const ServeLoop&) = delete;
   ServeLoop& operator=(const ServeLoop&) = delete;
 
-  /// Spawns the server thread. Idempotent.
-  void Start();
+  /// Spawns the consumer thread. Idempotent.
+  void Start() override { consumer_.Start(); }
 
   /// Submits a request; safe from any number of threads. The future is
   /// always fulfilled: with the result, or with a rejection status.
-  Future<ServeReply> Submit(const ServeRequest& request);
+  Future<ServeReply> Submit(const ServeRequest& request) override {
+    return consumer_.Submit(request);
+  }
 
-  /// Stops accepting, serves everything already accepted, joins the server
-  /// thread. Idempotent; implied by the destructor.
-  void Shutdown();
+  /// Stops accepting, serves everything already accepted, joins the
+  /// consumer thread. Idempotent; implied by the destructor.
+  void Shutdown() { consumer_.Shutdown(); }
 
   /// Snapshot of the serving counters. Consistent totals are guaranteed
   /// after Shutdown(); mid-flight snapshots are approximate.
-  ServeStats stats() const;
+  ServeStats stats() const { return consumer_.stats(); }
 
  private:
-  struct Pending {
-    ServeRequest request;
-    Promise<ServeReply> promise;
-  };
-
-  void RunLoop();
-  void ServeBatch(std::vector<Pending>& batch);
-  Future<ServeReply> RejectNow(ServeStatus status);
-
-  const DiversitySearcher& searcher_;
-  const ServeOptions options_;
-  QuerySession session_;  // touched only by the server thread
-
-  MpscQueue<Pending> queue_;
-  std::atomic<bool> accepting_{true};
-  std::atomic<bool> started_{false};
-  std::atomic<std::uint64_t> queued_{0};  // accepted, not yet served
-  std::thread server_;
-
-  mutable std::mutex mutex_;  // guards depth_ and stats_
-  std::unordered_map<std::uint64_t, std::uint32_t> depth_;
-  ServeStats stats_;
+  internal::ConsumerLoop consumer_;  // shuts down (drains) on destruction
 };
 
 }  // namespace tsd

@@ -1,0 +1,51 @@
+#include "server/sharded_serve.h"
+
+#include "common/check.h"
+
+namespace tsd {
+
+ShardedServeLoop::ShardedServeLoop(const DiversitySearcher& searcher,
+                                   const ShardedServeOptions& options) {
+  TSD_CHECK_MSG(options.num_shards >= 1, "num_shards must be >= 1");
+  shards_.reserve(options.num_shards);
+  for (std::uint32_t s = 0; s < options.num_shards; ++s) {
+    shards_.push_back(
+        std::make_unique<internal::ConsumerLoop>(searcher, options.shard));
+  }
+}
+
+ShardedServeLoop::~ShardedServeLoop() { Shutdown(); }
+
+void ShardedServeLoop::Start() {
+  for (auto& shard : shards_) shard->Start();
+}
+
+Future<ServeReply> ShardedServeLoop::Submit(const ServeRequest& request) {
+  // One hash serves both routing and the shard's admission depth table,
+  // from disjoint bits (see ShardIndex).
+  const std::uint64_t hash = Hash64(request.tenant);
+  return shards_[ShardIndex(hash)]->Submit(request, hash);
+}
+
+void ShardedServeLoop::Shutdown() {
+  // Start every shard first so pre-Start submissions drain (the ConsumerLoop
+  // contract), then stop admission everywhere BEFORE joining anything: a
+  // shard-by-shard stop-and-join would keep later shards accepting while
+  // earlier ones drain, making "rejected:shutdown" depend on shard index.
+  for (auto& shard : shards_) shard->Start();
+  for (auto& shard : shards_) shard->StopAccepting();
+  for (auto& shard : shards_) shard->Shutdown();
+}
+
+ServeStats ShardedServeLoop::stats() const {
+  ServeStats total;
+  for (const auto& shard : shards_) total += shard->stats();
+  return total;
+}
+
+ServeStats ShardedServeLoop::shard_stats(std::uint32_t shard) const {
+  TSD_CHECK(shard < shards_.size());
+  return shards_[shard]->stats();
+}
+
+}  // namespace tsd

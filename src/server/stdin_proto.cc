@@ -1,7 +1,9 @@
 #include "server/stdin_proto.h"
 
 #include <cstdint>
+#include <deque>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -25,34 +27,68 @@ bool ParseU64(const std::string& token, std::uint64_t* out) {
   return true;
 }
 
-struct Outstanding {
-  std::uint64_t id;
-  Future<ServeReply> future;
-};
+/// Sequencing reorder buffer: futures complete in per-shard order, the
+/// transcript must be in submission order. Entries are appended in
+/// submission order; Harvest() opportunistically collects the replies of
+/// the ready *prefix* after each submission (freeing their promise state
+/// early without ever blocking the read loop — an O(1) amortized peek per
+/// request), and FlushTo() blocks front to back, so emission is strictly by
+/// ascending id no matter which shard finished first.
+class ReplyReorderBuffer {
+ public:
+  void Add(std::uint64_t id, Future<ServeReply> future) {
+    entries_.push_back(Entry{id, std::move(future), std::nullopt});
+    Harvest();
+  }
 
-void Flush(std::vector<Outstanding>& outstanding, std::ostream& out) {
-  for (Outstanding& entry : outstanding) {
-    ServeReply reply = entry.future.Get();
-    if (reply.status == ServeStatus::kOk) {
-      out << "= " << entry.id
-          << " ok entries=" << reply.result.entries.size() << "\n";
-      for (std::size_t i = 0; i < reply.result.entries.size(); ++i) {
-        out << i + 1 << " " << reply.result.entries[i].vertex << " "
-            << reply.result.entries[i].score << "\n";
+  void Harvest() {
+    for (std::size_t i = harvested_; i < entries_.size(); ++i) {
+      Entry& entry = entries_[i];
+      if (!entry.reply.has_value()) {
+        if (!entry.future.Ready()) break;  // prefix only: keep it O(1)-ish
+        entry.reply = entry.future.Get();
       }
-    } else {
-      out << "= " << entry.id << " " << ServeStatusName(reply.status) << "\n";
+      harvested_ = i + 1;
     }
   }
-  outstanding.clear();
-}
+
+  void FlushTo(std::ostream& out) {
+    for (Entry& entry : entries_) {
+      const ServeReply reply =
+          entry.reply.has_value() ? std::move(*entry.reply)
+                                  : entry.future.Get();  // blocks in id order
+      if (reply.status == ServeStatus::kOk) {
+        out << "= " << entry.id << " ok entries=" << reply.result.entries.size()
+            << "\n";
+        for (std::size_t i = 0; i < reply.result.entries.size(); ++i) {
+          out << i + 1 << " " << reply.result.entries[i].vertex << " "
+              << reply.result.entries[i].score << "\n";
+        }
+      } else {
+        out << "= " << entry.id << " " << ServeStatusName(reply.status) << "\n";
+      }
+    }
+    entries_.clear();
+    harvested_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    Future<ServeReply> future;
+    std::optional<ServeReply> reply;  // harvested, not yet emitted
+  };
+
+  std::deque<Entry> entries_;  // ascending id (appended in submission order)
+  std::size_t harvested_ = 0;  // entries_[0..harvested_) have replies
+};
 
 }  // namespace
 
 StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
-                              ServeLoop& loop) {
+                              ServeSubmitter& loop) {
   StdinProtoStats stats;
-  std::vector<Outstanding> outstanding;
+  ReplyReorderBuffer outstanding;
   std::uint64_t next_id = 1;
   std::uint64_t line_number = 0;
   std::string line;
@@ -61,7 +97,7 @@ StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
     const std::vector<std::string> tokens = SplitWhitespace(line);
     if (tokens.empty() || tokens[0][0] == '#') continue;
     if (tokens[0] == "flush" && tokens.size() == 1) {
-      Flush(outstanding, out);
+      outstanding.FlushTo(out);
       continue;
     }
     std::uint64_t tenant = 0;
@@ -75,14 +111,14 @@ StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
       request.tenant = tenant;
       request.k = static_cast<std::uint32_t>(k);
       request.r = static_cast<std::uint32_t>(r);
-      outstanding.push_back({next_id++, loop.Submit(request)});
+      outstanding.Add(next_id++, loop.Submit(request));
       ++stats.requests;
     } else {
       out << "! parse-error line " << line_number << "\n";
       ++stats.parse_errors;
     }
   }
-  Flush(outstanding, out);
+  outstanding.FlushTo(out);
   return stats;
 }
 

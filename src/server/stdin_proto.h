@@ -1,5 +1,5 @@
-// Line-oriented request/response protocol over a ServeLoop, so scripts and
-// CI can drive the server through pipes (`tsdtool serve --stdin-proto`).
+// Line-oriented request/response protocol over a serving loop, so scripts
+// and CI can drive the server through pipes (`tsdtool serve --stdin-proto`).
 //
 // Requests, one per line:
 //   q <tenant> <k> <r>     submit a top-r query for a tenant
@@ -11,17 +11,25 @@
 // Responses, written to `out` at flush time:
 //   = <id> ok entries=<n>  followed by n lines "<rank> <vertex> <score>"
 //   = <id> rejected:<why>  (r-limit, queue-depth, bad-query, shutdown)
-// Ids are 1-based submission order. Replies are printed in submission
-// order — not completion order — and each reply is bit-identical to a
-// serial TopR of the same request, so the transcript is byte-stable across
-// server thread counts and coalescing patterns (CI compares 1 vs 8 server
-// threads byte for byte). Malformed lines yield a deterministic
-// "! parse-error line <n>" response line and are otherwise skipped.
+// Ids are 1-based submission order.
+//
+// The driver runs over the ServeSubmitter interface, so the same transcript
+// machinery serves the single-consumer ServeLoop and the sharded
+// ShardedServeLoop. With shards, replies *complete* out of submission order
+// (each shard drains its own queue at its own pace); a sequencing reorder
+// buffer over the futures restores emission order: replies are harvested
+// from whichever shard finishes first but always printed in ascending
+// submission id. Since each reply is bit-identical to a serial TopR of the
+// same request, the transcript is byte-stable across shard counts, server
+// pipeline thread counts, and coalescing patterns (CI compares
+// --shards=1/2/4 x --threads=1/8 byte for byte). Malformed lines yield a
+// deterministic "! parse-error line <n>" response line and are otherwise
+// skipped.
 #pragma once
 
 #include <iosfwd>
 
-#include "server/serve_loop.h"
+#include "server/serve_types.h"
 
 namespace tsd {
 
@@ -35,6 +43,6 @@ struct StdinProtoStats {
 /// on first submit), and writes the response transcript to `out`. Returns
 /// driver-side stats; serving stats come from loop.stats().
 StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
-                              ServeLoop& loop);
+                              ServeSubmitter& loop);
 
 }  // namespace tsd

@@ -1,0 +1,139 @@
+// Flat open-addressed per-tenant depth table for the admission hot path.
+//
+// Every Submit consults (and usually mutates) its tenant's in-flight depth
+// under the consumer's admission mutex. The std::unordered_map it replaces
+// paid a node allocation per tenant, pointer-chasing per lookup, and a
+// fresh key hash per operation. Here the caller passes the tenant's
+// 64-bit hash in — the sharded loop has already computed it to route the
+// request, so admission control reuses that one hash instead of hashing
+// again — and the table is a single power-of-two slot array probed
+// linearly, with backward-shift deletion so drained tenants leave no
+// tombstones behind (tenant ids are client-controlled; the table must
+// shrink its occupancy when tenants drain, or an id-sweeping client could
+// grow it without bound).
+//
+// Slots memoize the caller's hash, so internal rehashing (growth,
+// erase-shift) never recomputes it and the table works with any hash the
+// caller fixes — it only has to be consistent per tenant. A slot with
+// depth == 0 is empty: stored depths are always >= 1 because the consumer
+// erases a tenant's slot when its last in-flight request completes. Not
+// thread-safe; callers hold the admission mutex.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tsd {
+
+class TenantDepthTable {
+ public:
+  TenantDepthTable() : slots_(kMinCapacity) {}
+
+  /// Current in-flight depth of `tenant` (0 when absent). `hash` must be
+  /// the caller's fixed hash of `tenant` (e.g. Hash64(tenant)).
+  std::uint32_t Depth(std::uint64_t tenant, std::uint64_t hash) const {
+    for (std::size_t i = Home(hash);; i = Next(i)) {
+      const Slot& slot = slots_[i];
+      if (slot.depth == 0) return 0;
+      if (slot.tenant == tenant) return slot.depth;
+    }
+  }
+
+  /// Increments `tenant`'s depth iff it is currently below `cap`; returns
+  /// whether the increment happened (false = admission rejects).
+  bool TryIncrement(std::uint64_t tenant, std::uint64_t hash,
+                    std::uint32_t cap) {
+    for (std::size_t i = Home(hash);; i = Next(i)) {
+      Slot& slot = slots_[i];
+      if (slot.depth == 0) {
+        if (cap == 0) return false;
+        slot.tenant = tenant;
+        slot.hash = hash;
+        slot.depth = 1;
+        ++size_;
+        if (size_ * 4 > slots_.size() * 3) Grow();
+        return true;
+      }
+      if (slot.tenant == tenant) {
+        if (slot.depth >= cap) return false;
+        ++slot.depth;
+        return true;
+      }
+    }
+  }
+
+  /// Decrements `tenant`'s depth; erases the slot when it reaches zero.
+  /// The tenant must be present (every decrement pairs with an admit).
+  void Decrement(std::uint64_t tenant, std::uint64_t hash) {
+    for (std::size_t i = Home(hash);; i = Next(i)) {
+      Slot& slot = slots_[i];
+      TSD_DCHECK(slot.depth != 0);
+      if (slot.depth == 0) return;  // unpaired decrement; ignore in release
+      if (slot.tenant != tenant) continue;
+      if (--slot.depth == 0) Erase(i);
+      return;
+    }
+  }
+
+  /// Number of tenants with at least one request in flight.
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    std::uint64_t tenant = 0;
+    std::uint64_t hash = 0;
+    std::uint32_t depth = 0;  // 0 = empty slot
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;  // power of two
+
+  std::size_t Home(std::uint64_t hash) const {
+    return hash & (slots_.size() - 1);
+  }
+  std::size_t Next(std::size_t i) const {
+    return (i + 1) & (slots_.size() - 1);
+  }
+
+  /// Backward-shift deletion: walk the probe chain after the hole and pull
+  /// each displaced entry back iff the hole lies cyclically within
+  /// [its home, its current slot) — moving it earlier than home would break
+  /// its own lookups. No tombstones ever exist.
+  void Erase(std::size_t hole) {
+    --size_;
+    std::size_t i = hole;
+    while (true) {
+      i = Next(i);
+      const Slot& candidate = slots_[i];
+      if (candidate.depth == 0) break;
+      const std::size_t home = Home(candidate.hash);
+      const bool movable =
+          (i >= home) ? (hole >= home && hole < i) : (hole >= home || hole < i);
+      if (movable) {
+        slots_[hole] = candidate;
+        hole = i;
+      }
+    }
+    slots_[hole] = Slot{};
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& slot : old) {
+      if (slot.depth == 0) continue;
+      for (std::size_t i = Home(slot.hash);; i = Next(i)) {
+        if (slots_[i].depth == 0) {
+          slots_[i] = slot;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;  // size is a power of two
+  std::size_t size_ = 0;
+};
+
+}  // namespace tsd

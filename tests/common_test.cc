@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <random>
 #include <string>
 #include <thread>
@@ -503,6 +505,113 @@ TEST(FutureTest, AbandonedPromiseFailsGetLoudly) {
     future = promise.GetFuture();
   }  // destroyed unfulfilled
   EXPECT_THROW(future.Get(), CheckError);
+}
+
+TEST(MpscQueueTest, NotifyParkTortureExercisesDekkerFastPath) {
+  // Torture for the consumer_parked_ Dekker handshake: the consumer cycles
+  // park/unpark thousands of times (it waits on every empty observation)
+  // while producers interleave pushes with yields, and a dedicated notifier
+  // thread hammers NotifyOne() the whole time — so both NotifyOne paths run
+  // hot concurrently: the not-parked fast path (seq_cst fence + relaxed
+  // load, no mutex) and the parked mutex handoff. Run under the TSan CI
+  // job; a lost wakeup hangs the test, a publication race trips TSan.
+  // Every value must arrive exactly once, per-producer FIFO.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2500;
+  MpscQueue<std::pair<int, int>> queue;  // (producer, sequence)
+  std::atomic<int> producers_done{0};
+  std::atomic<bool> stop_notifier{false};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &producers_done, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push({p, i});
+        // Give the consumer a window to drain and park again, so pushes
+        // land on parked AND unparked consumers across the run.
+        if ((i & 63) == 0) std::this_thread::yield();
+      }
+      producers_done.fetch_add(1);
+    });
+  }
+  std::thread notifier([&queue, &stop_notifier] {
+    while (!stop_notifier.load()) {
+      queue.NotifyOne();  // mostly hits the not-parked fast path
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<int> next_expected(kProducers, 0);
+  int popped = 0;
+  std::pair<int, int> item;
+  while (popped < kProducers * kPerProducer) {
+    if (queue.TryPop(&item)) {
+      ASSERT_EQ(item.second, next_expected[item.first])
+          << "producer " << item.first;
+      ++next_expected[item.first];
+      ++popped;
+    } else {
+      queue.ConsumerWait([&] {
+        return !queue.Empty() || producers_done.load() == kProducers;
+      });
+    }
+  }
+  stop_notifier.store(true);
+  for (std::thread& t : producers) t.join();
+  notifier.join();
+  EXPECT_FALSE(queue.TryPop(&item));
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer);
+  }
+}
+
+TEST(FutureTest, AbandonRacesBlockedGet) {
+  // A promise abandoned (destroyed unfulfilled) WHILE the consumer is
+  // inside Get() must turn the wait into a hard CheckError, never a hang or
+  // a use-after-free of the state's cv — the getter holds the state alive
+  // through a shared_ptr it consumed before blocking. Alternate fulfil and
+  // abandon across iterations so both outcomes race a concurrent Get.
+  for (int iter = 0; iter < 300; ++iter) {
+    std::optional<Promise<int>> promise;
+    promise.emplace();
+    Future<int> future = promise->GetFuture();
+    std::atomic<int> outcome{0};
+    std::thread getter([&future, &outcome] {
+      try {
+        outcome.store(future.Get());
+      } catch (const CheckError&) {
+        outcome.store(-1);
+      }
+    });
+    if ((iter & 1) == 0) {
+      promise.reset();  // abandon: races the getter entering wait()
+    } else {
+      promise->Set(iter);
+    }
+    getter.join();
+    EXPECT_EQ(outcome.load(), (iter & 1) == 0 ? -1 : iter);
+  }
+}
+
+TEST(FutureTest, MoveAssignAbandonRacesBlockedGet) {
+  // Same race through the move-assignment abandon path (the PR 4 review
+  // fix): assigning a fresh promise over an engaged one must wake and fail
+  // a Get() that is concurrently blocked on the old state.
+  for (int iter = 0; iter < 200; ++iter) {
+    Promise<int> promise;
+    Future<int> future = promise.GetFuture();
+    std::atomic<bool> failed{false};
+    std::thread getter([&future, &failed] {
+      try {
+        future.Get();
+      } catch (const CheckError&) {
+        failed.store(true);
+      }
+    });
+    promise = Promise<int>();  // abandons the old state mid-Get
+    getter.join();
+    EXPECT_TRUE(failed.load());
+  }
 }
 
 TEST(FutureTest, MoveAssignmentAbandonsOldState) {

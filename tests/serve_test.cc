@@ -28,24 +28,15 @@
 #include "core/query_session.h"
 #include "core/tsd_index.h"
 #include "graph/generators.h"
+#include "serve_test_util.h"
 #include "server/serve_loop.h"
+#include "server/sharded_serve.h"
 #include "server/stdin_proto.h"
 
 namespace tsd {
 namespace {
 
-void ExpectSameEntries(const TopRResult& expected, const TopRResult& actual,
-                       const std::string& label) {
-  ASSERT_EQ(expected.entries.size(), actual.entries.size()) << label;
-  for (std::size_t i = 0; i < expected.entries.size(); ++i) {
-    EXPECT_EQ(expected.entries[i].vertex, actual.entries[i].vertex)
-        << label << " rank=" << i;
-    EXPECT_EQ(expected.entries[i].score, actual.entries[i].score)
-        << label << " rank=" << i;
-    EXPECT_EQ(expected.entries[i].contexts, actual.entries[i].contexts)
-        << label << " rank=" << i;
-  }
-}
+using test::ExpectSameEntries;
 
 std::vector<BatchQuery> TestQueries() {
   return {{2, 5}, {3, 10}, {4, 3}, {5, 1}, {3, 7}, {2, 1}, {6, 4}, {4, 10}};
@@ -385,6 +376,110 @@ TEST(ServeLoopTest, ThrowingSearcherFailsRequestsNotTheServer) {
   const ServeStats stats = loop.stats();
   EXPECT_EQ(stats.failed, 3u);
   EXPECT_EQ(stats.served, 0u);
+}
+
+// A sharded loop must answer exactly like a 1-shard loop — and like serial
+// TopR — for every searcher: sharding only changes who dispatches, never
+// what is computed. Also cross-checks that the summed totals equal the
+// per-shard statistics for every counter.
+TEST(ShardedServeLoopTest, OneShardVsFourShardsAcrossAllSearchers) {
+  const Graph g = HolmeKim(150, 4, 0.5, 36);
+  const GctIndex gct = GctIndex::Build(g);
+  const TsdIndex tsd = TsdIndex::Build(g);
+  const OnlineSearcher online(g);
+  const BoundSearcher bound(g);
+  const HybridSearcher hybrid(g, gct);
+  const CompDivSearcher comp(g);
+  const CoreDivSearcher core(g);
+  DynamicTsdIndex dynamic(g);
+  dynamic.InsertEdge(0, 140);  // mutate first, then serve shared-immutable
+
+  const std::vector<const DiversitySearcher*> searchers = {
+      &online, &bound, &tsd, &gct, &dynamic, &hybrid, &comp, &core};
+  const std::vector<BatchQuery> queries = TestQueries();
+  for (const DiversitySearcher* searcher : searchers) {
+    const std::vector<TopRResult> reference =
+        SerialReference(*searcher, queries);
+    for (std::uint32_t shards : {1u, 4u}) {
+      ShardedServeOptions options;
+      options.num_shards = shards;
+      ShardedServeLoop loop(*searcher, options);
+      loop.Start();
+      std::vector<Future<ServeReply>> futures;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        // One tenant per query so a 4-shard loop exercises several shards.
+        futures.push_back(
+            loop.Submit(ServeRequest{i, queries[i].k, queries[i].r}));
+      }
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        ServeReply reply = futures[i].Get();
+        ASSERT_EQ(reply.status, ServeStatus::kOk);
+        ExpectSameEntries(reference[i], reply.result,
+                          searcher->name() + " shards=" +
+                              std::to_string(shards) +
+                              " q=" + std::to_string(i));
+      }
+      loop.Shutdown();
+
+      // Shard statistics must sum to the totals, counter for counter.
+      const ServeStats total = loop.stats();
+      ServeStats summed;
+      for (std::uint32_t s = 0; s < loop.num_shards(); ++s) {
+        summed += loop.shard_stats(s);
+      }
+      EXPECT_EQ(total.accepted, queries.size()) << searcher->name();
+      EXPECT_EQ(summed.accepted, total.accepted) << searcher->name();
+      EXPECT_EQ(summed.served, total.served) << searcher->name();
+      EXPECT_EQ(summed.failed, total.failed) << searcher->name();
+      EXPECT_EQ(summed.batches, total.batches) << searcher->name();
+      EXPECT_EQ(summed.rejected_bad_query + summed.rejected_r_limit +
+                    summed.rejected_queue_depth + summed.rejected_shutdown,
+                0u)
+          << searcher->name();
+      ASSERT_EQ(summed.batch_size_count.size(),
+                total.batch_size_count.size());
+      for (std::size_t b = 0; b < total.batch_size_count.size(); ++b) {
+        EXPECT_EQ(summed.batch_size_count[b], total.batch_size_count[b])
+            << searcher->name() << " bucket " << b;
+      }
+    }
+  }
+}
+
+// The stdin protocol transcript must be byte-identical whether one consumer
+// or four shards serve it (replies are a pure function of each request; the
+// proto layer's reorder buffer restores submission order).
+TEST(StdinProtoTest, TranscriptByteStableAcrossShardCounts) {
+  const Graph g = HolmeKim(200, 5, 0.6, 37);
+  const GctIndex gct = GctIndex::Build(g);
+  const std::string script =
+      "q 11 3 5\n"
+      "q 12 4 10\n"
+      "q 13 2 3\n"
+      "q 14 5 2\n"
+      "flush\n"
+      "q 15 3 2000\n"  // r-limit rejection
+      "q 16 6 1\n"
+      "q 11 4 4\n"
+      "q 12 2 7\n";
+
+  auto run = [&](std::uint32_t shards) {
+    ShardedServeOptions options;
+    options.num_shards = shards;
+    ShardedServeLoop loop(gct, options);
+    std::istringstream in(script);
+    std::ostringstream out;
+    const StdinProtoStats stats = RunStdinProto(in, out, loop);
+    loop.Shutdown();
+    EXPECT_EQ(stats.requests, 8u);
+    return out.str();
+  };
+
+  const std::string s1 = run(1);
+  EXPECT_EQ(s1, run(2));
+  EXPECT_EQ(s1, run(4));
+  EXPECT_NE(s1.find("= 1 ok"), std::string::npos);
+  EXPECT_NE(s1.find("= 5 rejected:r-limit"), std::string::npos);
 }
 
 // The stdin protocol transcript must be byte-identical across server

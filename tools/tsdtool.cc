@@ -29,7 +29,7 @@
 #include "core/query_pipeline.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
-#include "server/serve_loop.h"
+#include "server/sharded_serve.h"
 #include "server/stdin_proto.h"
 #include "truss/parallel_truss.h"
 #include "truss/truss_decomposition.h"
@@ -62,14 +62,20 @@ int Usage() {
       "                                            generate a synthetic "
       "graph\n"
       "  serve <edge-list> --stdin-proto [--method=gct] [--threads=1]\n"
-      "        [--max-r=1024] [--max-depth=1024] [--max-batch=64]\n"
+      "        [--shards=1] [--max-r=1024] [--max-depth=1024] "
+      "[--max-batch=64]\n"
       "                                            concurrent query server\n"
       "                                            driven by a line protocol\n"
       "                                            on stdin ('q <tenant> <k>\n"
       "                                            <r>' / 'flush'); replies\n"
       "                                            in submission order on\n"
       "                                            stdout, byte-stable at\n"
-      "                                            any --threads\n"
+      "                                            any --threads/--shards.\n"
+      "                                            --shards=N runs N\n"
+      "                                            consumer loops with\n"
+      "                                            tenants hashed across\n"
+      "                                            them (deterministic\n"
+      "                                            tenant->shard pinning)\n"
       "methods: gct tsd online bound comp core\n"
       "--threads=N runs the query pipeline on N workers — including the\n"
       "preprocessing stages: the global truss decomposition behind stats and\n"
@@ -334,23 +340,26 @@ int RunServe(const Graph& g, const Flags& flags) {
   SearcherHolder holder = MakeSearcher(g, flags.GetString("method", "gct"));
   if (holder.active == nullptr) return Usage();
 
-  ServeOptions options;
-  options.query_options = QueryOptionsFromFlags(flags);
-  options.max_r = static_cast<std::uint32_t>(
+  ShardedServeOptions options;
+  options.num_shards = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("shards", 1)));
+  options.shard.query_options = QueryOptionsFromFlags(flags);
+  options.shard.max_r = static_cast<std::uint32_t>(
       std::max<std::int64_t>(1, flags.GetInt("max-r", 1024)));
-  options.max_queue_depth = static_cast<std::uint32_t>(
+  options.shard.max_queue_depth = static_cast<std::uint32_t>(
       std::max<std::int64_t>(1, flags.GetInt("max-depth", 1024)));
-  options.max_batch = static_cast<std::uint32_t>(
+  options.shard.max_batch = static_cast<std::uint32_t>(
       std::max<std::int64_t>(1, flags.GetInt("max-batch", 64)));
 
-  ServeLoop loop(*holder.active, options);
+  ShardedServeLoop loop(*holder.active, options);
   const StdinProtoStats driver = RunStdinProto(std::cin, std::cout, loop);
   loop.Shutdown();
 
   // Serving diagnostics to stderr so the stdout transcript stays
-  // byte-stable across thread counts and batch shapes.
+  // byte-stable across thread counts, shard counts, and batch shapes.
   const ServeStats stats = loop.stats();
   std::cerr << "serve: method=" << holder.active->name()
+            << " shards=" << loop.num_shards()
             << " requests=" << driver.requests
             << " parse-errors=" << driver.parse_errors
             << " accepted=" << stats.accepted << " served=" << stats.served
@@ -359,13 +368,17 @@ int RunServe(const Graph& g, const Flags& flags) {
             << " depth=" << stats.rejected_queue_depth
             << " bad=" << stats.rejected_bad_query
             << ") batches=" << stats.batches << "\n";
-  std::cerr << "coalescing batch sizes:";
-  for (std::size_t s = 1; s < stats.batch_size_count.size(); ++s) {
-    if (stats.batch_size_count[s] > 0) {
-      std::cerr << " " << s << "x" << stats.batch_size_count[s];
+  for (std::uint32_t s = 0; s < loop.num_shards(); ++s) {
+    const ServeStats shard = loop.shard_stats(s);
+    std::cerr << "shard " << s << ": accepted=" << shard.accepted
+              << " batches=" << shard.batches << " sizes:";
+    for (std::size_t b = 1; b < shard.batch_size_count.size(); ++b) {
+      if (shard.batch_size_count[b] > 0) {
+        std::cerr << " " << b << "x" << shard.batch_size_count[b];
+      }
     }
+    std::cerr << "\n";
   }
-  std::cerr << "\n";
   return 0;
 }
 
