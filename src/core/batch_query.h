@@ -70,6 +70,42 @@ class BatchQueryRunner {
         });
   }
 
+  /// Bound-ordered variant of Scan (the Algorithm 4 discipline for the
+  /// whole batch): `bounds[v]` must upper-bound v's score at EVERY
+  /// requested threshold — the bound evaluated at the smallest requested k
+  /// suffices, because both known bound formulas (Lemma 2's min(d/k,
+  /// m_v/C(k,2)) and the TSD forest bound qualified(k)/(k-1)) are
+  /// non-increasing in k, even though scores themselves are not monotone
+  /// (contexts can split as k grows) — and `order` must visit candidates
+  /// by non-increasing bound. The scan stops as soon as every
+  /// query's collector can prune the remaining range. Entries are
+  /// bit-identical to Scan (pruning is conservative per collector); only
+  /// the number of scored candidates changes.
+  template <typename ThresholdScoreFn>
+  std::uint64_t ScanOrdered(QueryPipeline& pipeline,
+                            std::span<const VertexId> order,
+                            std::span<const std::uint32_t> bounds,
+                            ThresholdScoreFn&& fn) {
+    return pipeline.ScoreOrderedMulti(
+        order, bounds, collector_ptrs_,
+        [this, &fn](QueryWorkspace& ws, VertexId v, std::uint32_t* scores) {
+          std::vector<std::uint32_t>& per_k = ws.u32_scratch();
+          per_k.resize(thresholds_.size());
+          fn(ws, v, per_k.data());
+          for (std::size_t q = 0; q < queries_.size(); ++q) {
+            scores[q] = per_k[k_index_[q]];
+          }
+        });
+  }
+
+  /// Sum of every query's r — the gate callers use to decide whether the
+  /// bound-ordered scan's O(n log n) ordering cost can pay for itself.
+  std::uint64_t total_r() const {
+    std::uint64_t total = 0;
+    for (const BatchQuery& query : queries_) total += query.r;
+    return total;
+  }
+
   /// The amortized ego scan: decompose each candidate's ego network once
   /// and score it at every requested threshold in one sweep. Requires a
   /// full (extractor-carrying) pipeline.

@@ -10,6 +10,7 @@
 #include "truss/k_truss.h"
 #include "truss/parallel_truss.h"
 #include "truss/truss_decomposition.h"
+#include "truss/truss_plan.h"
 
 namespace tsd {
 namespace {
@@ -76,9 +77,14 @@ TopRResult BoundSearcher::TopR(std::uint32_t r, std::uint32_t k,
   {
     ScopedTimer t(&result.stats.preprocess_seconds);
     // The global decomposition and m_v counts run on the same thread knobs
-    // as the scan phases (the preprocess was the last serial fraction).
+    // as the scan phases (the preprocess was the last serial fraction), and
+    // under the session's truss plan. Only edges with τ_G(e) ≥ k+1 are
+    // consumed here, so the plan may prune below that floor (CoreThenTruss
+    // drops core-bounded edges before any triangle counting).
     const ParallelConfig config = ToParallelConfig(session.options());
-    TrussDecomposition truss(graph_, config);
+    const TrussDecomposition truss(
+        graph_, config, TrussPlan::FromAlgorithm(config.truss_plan, k + 1));
+    result.stats.edges_pruned = truss.plan_stats().edges_pruned;
     // Property 1: only edges with τ_G(e) ≥ k+1 can contribute.
     reduced = KTrussSubgraph(graph_, truss.edge_trussness(), k + 1);
     pipeline.Rebind(reduced);
@@ -146,21 +152,56 @@ std::vector<TopRResult> BoundSearcher::SearchBatch(
   // vertex-id space, so the candidate range matches the per-query scans).
   const std::uint32_t k_min = runner.thresholds().back();
   Graph reduced;
+  std::vector<std::uint32_t> bounds;
+  std::vector<VertexId> order;
+  // When every query's r is small, one shared bound order prunes most of
+  // the per-candidate ego decompositions: the Lemma 2 bound min(d/k,
+  // m_v/C(k,2)) is non-increasing in k, so evaluating it at the smallest
+  // requested k upper-bounds every query's score and the ordered scan can
+  // stop once every collector prunes. With large r nearly every candidate
+  // gets scored anyway, so the m_v counting pass and the O(n log n) sort
+  // would not pay for themselves. Entries are bit-identical either way.
+  const bool ordered = runner.total_r() * 64 <= graph_.num_vertices();
   {
     ScopedTimer t(&stats.preprocess_seconds);
-    TrussDecomposition truss(graph_, ToParallelConfig(session.options()));
+    const ParallelConfig config = ToParallelConfig(session.options());
+    const TrussDecomposition truss(
+        graph_, config,
+        TrussPlan::FromAlgorithm(config.truss_plan, k_min + 1));
+    stats.edges_pruned = truss.plan_stats().edges_pruned;
     reduced = KTrussSubgraph(graph_, truss.edge_trussness(), k_min + 1);
     pipeline.Rebind(reduced);
+    if (ordered) {
+      const std::vector<std::uint64_t> ego_edges =
+          TrianglesPerVertex(reduced, config);
+      pipeline.MapScores(
+          reduced.num_vertices(), &bounds, [&](QueryWorkspace&, VertexId v) {
+            return UpperBound(reduced.degree(v), ego_edges[v], k_min);
+          });
+      order.resize(reduced.num_vertices());
+      std::iota(order.begin(), order.end(), 0U);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](VertexId a, VertexId b) {
+                         return bounds[a] > bounds[b];
+                       });
+    }
   }
 
-  // Exact multi-k scores for every surviving candidate: with all thresholds
-  // answered from one sweep, the Lemma 2 bound ordering would only save the
-  // component count at the already-decomposed egos, so the batch path scans
-  // the reduced range outright.
+  // Exact multi-k scores from one ego decomposition per visited candidate:
+  // either the shared bound-ordered scan (small batches) or the full
+  // reduced range.
   {
     ScopedTimer t(&stats.score_seconds);
     stats.vertices_scored =
-        runner.RunEgoScan(pipeline, reduced.num_vertices());
+        ordered ? runner.ScanOrdered(
+                      pipeline, order, bounds,
+                      [&runner](QueryWorkspace& ws, VertexId v,
+                                std::uint32_t* out) {
+                        EgoNetwork& ego = ws.DecomposeEgo(v);
+                        ws.multi_scorer().Compute(ego, ws.trussness(),
+                                                  runner.thresholds(), out);
+                      })
+                : runner.RunEgoScan(pipeline, reduced.num_vertices());
   }
 
   {

@@ -84,6 +84,15 @@ QueryOptions QueryOptionsFromFlags(const Flags& flags) {
       std::max<std::int64_t>(1, flags.GetInt("threads", 1)));
   options.num_chunks = static_cast<std::uint32_t>(
       std::max<std::int64_t>(0, flags.GetInt("chunks", 0)));
+  const std::string plan = flags.GetString("plan", "auto");
+  const std::optional<TrussPlanAlgorithm> parsed = ParseTrussPlanAlgorithm(plan);
+  TSD_CHECK_MSG(parsed.has_value(),
+                "--plan must be one of auto, bsp, jacobi, core-truss");
+  options.truss_plan = *parsed;
+  options.ramp_base_per_thread = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("ramp-base", 4)));
+  options.ramp_growth = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("ramp-growth", 2)));
   return options;
 }
 

@@ -141,6 +141,20 @@ class QueryPipeline {
                              std::span<const std::uint32_t> bounds,
                              TopRCollector* collector, ScoreFn&& fn);
 
+  /// Batch analogue of ScoreOrdered: visits `order` front to back —
+  /// candidates sorted by non-increasing `bounds[v]`, where bounds[v] must
+  /// upper-bound v's score for EVERY collector's query — and stops once
+  /// every collector can prune the remaining range. Because the shared
+  /// bound dominates each query's own bound, a skipped candidate could not
+  /// have displaced any query's r-th answer, so each collector ends
+  /// bit-identical to a full ScoreRangeMulti pass. Returns the number of
+  /// candidates exactly scored.
+  template <typename MultiScoreFn>
+  std::uint64_t ScoreOrderedMulti(std::span<const VertexId> order,
+                                  std::span<const std::uint32_t> bounds,
+                                  std::span<TopRCollector* const> collectors,
+                                  MultiScoreFn&& fn);
+
   /// Batch variant of ScoreRange: one pass over [0, num_candidates) scoring
   /// every vertex for all queries at once. `fn(workspace, v, scores)` fills
   /// scores[q] for each q in [0, collectors.size()); each score is offered
@@ -208,7 +222,8 @@ QueryOptions QueryOptionsFromFlags(const Flags& flags);
 /// (global truss decomposition, triangle counting, the global ego listing)
 /// take a common/ ParallelConfig so they stay below core/ in the layering.
 inline ParallelConfig ToParallelConfig(const QueryOptions& options) {
-  return ParallelConfig{options.num_threads, options.num_chunks};
+  return ParallelConfig{options.num_threads, options.num_chunks,
+                        options.truss_plan};
 }
 
 // ---------------------------------------------------------------------------
@@ -262,21 +277,25 @@ std::uint64_t QueryPipeline::ScoreOrdered(std::span<const VertexId> order,
   // Rounds of work split across the workers; the termination check runs
   // between rounds against the merged collector. Candidates are
   // bound-sorted, so checking the first candidate of a round covers the
-  // whole round. Round sizes ramp geometrically: the first rounds stay
-  // small so a search that terminates after a handful of candidates (r
-  // small, bounds tight — Example 3 scores exactly one vertex) does not
-  // pay for a full chunk per worker, while long scans quickly reach full
-  // chunk-sized rounds.
+  // whole round. Round sizes ramp geometrically under the QueryOptions
+  // ramp knobs: the first rounds stay small so a search that terminates
+  // after a handful of candidates (r small, bounds tight — Example 3
+  // scores exactly one vertex) does not pay for a full chunk per worker,
+  // while long scans quickly reach full chunk-sized rounds.
   const std::uint32_t num_threads = options_.num_threads;
   const std::uint64_t total = order.size();
   const std::uint64_t chunk_size =
       (total + ResolveChunks(total) - 1) / ResolveChunks(total);
   const std::uint64_t max_round_size =
       std::max<std::uint64_t>(chunk_size * num_threads, num_threads);
+  const std::uint64_t growth =
+      std::max<std::uint64_t>(1, options_.ramp_growth);
   std::uint64_t round_size = std::min<std::uint64_t>(
       max_round_size,
-      std::max<std::uint64_t>(std::uint64_t{num_threads} * 4,
-                              collector->capacity()));
+      std::max<std::uint64_t>(
+          std::uint64_t{num_threads} *
+              std::max<std::uint32_t>(1, options_.ramp_base_per_thread),
+          collector->capacity()));
   std::vector<TopRCollector> locals;
   std::uint64_t round_begin = 0;
   while (round_begin < total) {
@@ -298,7 +317,98 @@ std::uint64_t QueryPipeline::ScoreOrdered(std::span<const VertexId> order,
     MergeInto(locals, collector);
     scored += round_end - round_begin;
     round_begin = round_end;
-    round_size = std::min(max_round_size, round_size * 2);
+    round_size = std::min(max_round_size, round_size * growth);
+  }
+  return scored;
+}
+
+template <typename MultiScoreFn>
+std::uint64_t QueryPipeline::ScoreOrderedMulti(
+    std::span<const VertexId> order, std::span<const std::uint32_t> bounds,
+    std::span<TopRCollector* const> collectors, MultiScoreFn&& fn) {
+  const std::size_t num_queries = collectors.size();
+  if (num_queries == 0) return 0;
+  const auto all_can_prune = [&](VertexId v) {
+    for (TopRCollector* collector : collectors) {
+      if (!collector->CanPrune(bounds[v], v)) return false;
+    }
+    return true;
+  };
+
+  std::uint64_t scored = 0;
+  if (options_.num_threads == 1) {
+    QueryWorkspace& ws = *workspaces_[0];
+    std::vector<std::uint32_t> scores(num_queries);
+    for (VertexId v : order) {
+      if (all_can_prune(v)) break;  // early termination for the whole batch
+      fn(ws, v, scores.data());
+      for (std::size_t q = 0; q < num_queries; ++q) {
+        collectors[q]->Offer(v, scores[q]);
+      }
+      ++scored;
+    }
+    return scored;
+  }
+
+  // Same round discipline as ScoreOrdered, with the per-(worker, query)
+  // local collectors of ScoreRangeMulti; the between-round termination
+  // check asks every collector before continuing.
+  const std::uint32_t num_threads = options_.num_threads;
+  const std::uint64_t total = order.size();
+  const std::uint64_t chunk_size =
+      (total + ResolveChunks(total) - 1) / ResolveChunks(total);
+  const std::uint64_t max_round_size =
+      std::max<std::uint64_t>(chunk_size * num_threads, num_threads);
+  const std::uint64_t growth =
+      std::max<std::uint64_t>(1, options_.ramp_growth);
+  std::uint64_t max_capacity = 0;
+  for (TopRCollector* collector : collectors) {
+    max_capacity = std::max<std::uint64_t>(max_capacity, collector->capacity());
+  }
+  std::uint64_t round_size = std::min<std::uint64_t>(
+      max_round_size,
+      std::max<std::uint64_t>(
+          std::uint64_t{num_threads} *
+              std::max<std::uint32_t>(1, options_.ramp_base_per_thread),
+          max_capacity));
+
+  std::vector<std::vector<TopRCollector>> locals(num_threads);
+  std::vector<std::vector<std::uint32_t>> scores(num_threads);
+  for (std::uint32_t t = 0; t < num_threads; ++t) scores[t].resize(num_queries);
+  std::uint64_t round_begin = 0;
+  while (round_begin < total) {
+    const VertexId first = order[round_begin];
+    if (all_can_prune(first)) break;
+    const std::uint64_t round_end = std::min(total, round_begin + round_size);
+    for (std::uint32_t t = 0; t < num_threads; ++t) {
+      locals[t].clear();
+      for (std::size_t q = 0; q < num_queries; ++q) {
+        locals[t].emplace_back(collectors[q]->capacity());
+      }
+    }
+    ParallelForChunksIndexed(
+        round_end - round_begin, num_threads, num_threads,
+        [&](std::uint32_t worker, std::uint32_t /*chunk*/,
+            std::uint64_t begin, std::uint64_t end) {
+          QueryWorkspace& ws = *workspaces_[worker];
+          for (std::uint64_t i = begin; i < end; ++i) {
+            const VertexId v = order[round_begin + i];
+            fn(ws, v, scores[worker].data());
+            for (std::size_t q = 0; q < num_queries; ++q) {
+              locals[worker][q].Offer(v, scores[worker][q]);
+            }
+          }
+        });
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      for (std::uint32_t t = 0; t < num_threads; ++t) {
+        for (const auto& [vertex, score] : locals[t][q].TakeRanked()) {
+          collectors[q]->Offer(vertex, score);
+        }
+      }
+    }
+    scored += round_end - round_begin;
+    round_begin = round_end;
+    round_size = std::min(max_round_size, round_size * growth);
   }
   return scored;
 }

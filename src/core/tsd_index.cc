@@ -267,16 +267,40 @@ std::vector<TopRResult> TsdIndex::SearchBatch(
   BatchQueryRunner runner(queries);
   QueryPipeline& pipeline = session.IndexPipeline();
 
-  // One forest-slice sweep per vertex answers every threshold; with exact
-  // multi-k scores this cheap, the s̃core bound ordering would not pay for
-  // its per-k sort, so the batch path scans the full range.
+  // One forest-slice sweep per vertex answers every threshold. When every
+  // query's r is small, most of those sweeps are wasted on vertices that
+  // can never rank, and a single bound order serves the whole batch: the
+  // s̃core bound qualified(k)/(k-1) is non-increasing in k, so the bound at
+  // the smallest requested k dominates every query's score and the shared
+  // ordered scan can stop as soon as every collector can prune. With large
+  // r the scan visits nearly everything anyway and the O(n log n) ordering
+  // would not pay for itself, so the batch falls back to the full range;
+  // entries are bit-identical either way.
+  const VertexId n = num_vertices();
+  const bool ordered = runner.total_r() * 64 <= n;
+  auto score_fn = [this, &runner](QueryWorkspace& ws, VertexId v,
+                                  std::uint32_t* out) {
+    ScoresForThresholds(v, runner.thresholds(), ws.index_scratch(), out);
+  };
+  std::vector<std::uint32_t> bounds;
+  std::vector<VertexId> order;
+  if (ordered) {
+    ScopedTimer t(&stats.preprocess_seconds);
+    const std::uint32_t k_min = runner.thresholds().back();
+    pipeline.MapScores(n, &bounds, [&](QueryWorkspace&, VertexId v) {
+      return ScoreUpperBound(v, k_min);
+    });
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0U);
+    std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      return bounds[a] > bounds[b];
+    });
+  }
   {
     ScopedTimer t(&stats.score_seconds);
-    stats.vertices_scored = runner.Scan(
-        pipeline, num_vertices(),
-        [this, &runner](QueryWorkspace& ws, VertexId v, std::uint32_t* out) {
-          ScoresForThresholds(v, runner.thresholds(), ws.index_scratch(), out);
-        });
+    stats.vertices_scored =
+        ordered ? runner.ScanOrdered(pipeline, order, bounds, score_fn)
+                : runner.Scan(pipeline, n, score_fn);
   }
 
   {

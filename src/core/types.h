@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"  // TrussPlanAlgorithm
 #include "graph/graph.h"
 
 namespace tsd {
@@ -34,6 +35,20 @@ struct QueryOptions {
   /// Chunks the candidate range is split into (0 = auto: one chunk when
   /// sequential, 8 per thread otherwise, matching the index builders).
   std::uint32_t num_chunks = 0;
+  /// Truss-decomposition kernel for the preprocessing stages that run a
+  /// global decomposition (bound sparsification, stats). Every plan yields
+  /// bit-identical trussness — this is a performance knob (tsdtool --plan).
+  TrussPlanAlgorithm truss_plan = TrussPlanAlgorithm::kAuto;
+  /// ScoreOrdered round ramp-up: the first parallel round scores
+  /// max(num_threads * ramp_base_per_thread, r) candidates and each
+  /// following round is ramp_growth times larger (capped at one chunking
+  /// unit of the candidate range). Small early rounds stop cheaply when the
+  /// bound order prunes early; the geometric growth bounds the number of
+  /// round barriers when it does not. Defaults from the
+  /// bench_ablation_parallel --ramp sweep. Rankings are bit-identical for
+  /// any setting; only wall time and vertices_scored move.
+  std::uint32_t ramp_base_per_thread = 4;
+  std::uint32_t ramp_growth = 2;
 
   bool operator==(const QueryOptions&) const = default;
 };
@@ -53,6 +68,10 @@ struct SearchStats {
   double context_seconds = 0;
   /// Worker threads the query pipeline ran with (Fig. 8/15 speedup reports).
   std::uint32_t threads_used = 1;
+  /// Edges dropped by the preprocess plan's core-number prefilter before
+  /// any triangle counting (TrussPlan::CoreThenTruss; 0 for the other
+  /// plans and for searchers that run no global decomposition).
+  std::uint64_t edges_pruned = 0;
 };
 
 /// Result of a top-r structural diversity search: entries sorted by

@@ -28,15 +28,16 @@ void EgoTrussDecomposer::ComputeInto(EgoNetwork& ego,
     case EgoTrussMethod::kBitmap:
       return bitmap_fits ? ComputeBitmapInto(ego, trussness)
                          : ComputeHashInto(ego, trussness);
-    case EgoTrussMethod::kAuto: {
-      // The bitmap kernel pays O(l²/64) for zeroing and per-edge AND scans;
-      // it beats the merge-intersection kernel only on sufficiently dense
-      // ego-networks. 64 edges per 1k of l² empirically splits the regimes.
-      const bool dense_enough =
-          static_cast<std::uint64_t>(ego.num_edges()) * 16 >= l * l / 64;
-      return (bitmap_fits && dense_enough) ? ComputeBitmapInto(ego, trussness)
-                                           : ComputeHashInto(ego, trussness);
-    }
+    case EgoTrussMethod::kAuto:
+      // Same density rule as the global plan subsystem's bitmap kernel
+      // (truss_plan.h): the bitmap kernel pays O(l²/64) for zeroing and
+      // per-edge AND scans, so it only beats merge intersection on
+      // sufficiently dense ego-networks.
+      return internal::BitmapSupportEligible(l, ego.num_edges(),
+                                             bitmap_budget_bytes_,
+                                             internal::kEgoBitmapDensityShift)
+                 ? ComputeBitmapInto(ego, trussness)
+                 : ComputeHashInto(ego, trussness);
   }
   TSD_CHECK(false);
   __builtin_unreachable();

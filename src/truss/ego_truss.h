@@ -19,6 +19,7 @@
 #include "common/bitmap.h"
 #include "common/bucket_queue.h"
 #include "graph/ego_network.h"
+#include "truss/truss_plan.h"
 
 namespace tsd {
 
@@ -33,9 +34,13 @@ enum class EgoTrussMethod {
 class EgoTrussDecomposer {
  public:
   /// `bitmap_budget_bytes` caps the transient bitmap matrix; above it,
-  /// kAuto and kBitmap fall back to the hash kernel.
-  explicit EgoTrussDecomposer(EgoTrussMethod method = EgoTrussMethod::kAuto,
-                              std::size_t bitmap_budget_bytes = 64ull << 20);
+  /// kAuto and kBitmap fall back to the hash kernel. The default budget and
+  /// the kAuto density rule are shared with the global plan subsystem
+  /// (truss_plan.h), so ego-level and global-level kernel selection stay in
+  /// agreement.
+  explicit EgoTrussDecomposer(
+      EgoTrussMethod method = EgoTrussMethod::kAuto,
+      std::size_t bitmap_budget_bytes = internal::kBitmapBudgetBytes);
 
   /// Computes the trussness of every ego edge. Builds the ego CSR if absent.
   std::vector<std::uint32_t> Compute(EgoNetwork& ego);

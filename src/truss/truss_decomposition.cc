@@ -2,16 +2,17 @@
 
 #include <algorithm>
 
-#include "truss/parallel_truss.h"
+#include "truss/truss_plan.h"
 
 namespace tsd {
 
 TrussDecomposition::TrussDecomposition(const Graph& graph,
-                                       const ParallelConfig& config) {
-  // Both kernels route to the sequential implementations at 1 thread; at
-  // higher thread counts the result is identical (trussness is unique).
-  std::vector<std::uint32_t> support = ComputeSupport(graph, config);
-  edge_trussness_ = TrussnessFromSupport(graph, std::move(support), config);
+                                       const ParallelConfig& config,
+                                       const TrussPlan& plan) {
+  // Every plan routes to kernels that are bit-identical to the sequential
+  // decomposition (trussness is unique); the plan only changes how the
+  // fixed point is reached and how much work is pruned on the way.
+  edge_trussness_ = TrussnessWithPlan(graph, plan, config, &plan_stats_);
 
   vertex_trussness_.assign(graph.num_vertices(), 0);
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {

@@ -6,11 +6,15 @@
 // incident edges), used by graph sparsification and GCT supernode
 // initialization.
 //
-// Construction accepts a ParallelConfig: with num_threads > 1 both the
-// support computation and the peel run on the frontier-parallel kernels of
-// truss/parallel_truss.h; trussness is unique, so the result is
-// bit-identical to the sequential decomposition at any thread count. The
-// default (1 thread) is the sequential Wang–Cheng path.
+// Construction accepts a ParallelConfig and routes through the TrussPlan
+// subsystem (truss/truss_plan.h): config.truss_plan picks the kernel (Bsp,
+// BspJacobi, CoreThenTruss, or the statistics-driven auto-tuner) and
+// config.num_threads its parallelism. Trussness is unique, so every plan is
+// bit-identical to the sequential decomposition at any thread count. A
+// caller that only consumes trussness ≥ t may pass an explicit plan with
+// min_trussness = t; the derived state (vertex trussness, histogram) then
+// reflects the degraded sub-threshold values — see the min_trussness
+// contract in truss_plan.h.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,7 @@
 
 #include "common/parallel.h"
 #include "graph/graph.h"
+#include "truss/truss_plan.h"
 
 namespace tsd {
 
@@ -27,8 +32,17 @@ class TrussDecomposition {
   explicit TrussDecomposition(const Graph& graph)
       : TrussDecomposition(graph, ParallelConfig{}) {}
 
-  /// Same decomposition on `config.num_threads` workers (bit-identical).
-  TrussDecomposition(const Graph& graph, const ParallelConfig& config);
+  /// Same decomposition on `config.num_threads` workers (bit-identical),
+  /// under the kernel selected by config.truss_plan with the full-exactness
+  /// floor min_trussness = 2.
+  TrussDecomposition(const Graph& graph, const ParallelConfig& config)
+      : TrussDecomposition(graph, config,
+                           TrussPlan::FromAlgorithm(config.truss_plan)) {}
+
+  /// Explicit-plan constructor; the only way to run with a consumption
+  /// floor above 2.
+  TrussDecomposition(const Graph& graph, const ParallelConfig& config,
+                     const TrussPlan& plan);
 
   /// Trussness of edge e (≥ 2 for every edge).
   std::uint32_t trussness(EdgeId e) const { return edge_trussness_[e]; }
@@ -48,10 +62,15 @@ class TrussDecomposition {
   /// histogram[k] = number of edges with trussness exactly k (Figure 3).
   std::vector<std::uint64_t> TrussnessHistogram() const;
 
+  /// How the plan executed: resolved algorithm, bitmap-kernel use, edges
+  /// pruned by the core prefilter, and the auto-tuner's input statistics.
+  const TrussPlanStats& plan_stats() const { return plan_stats_; }
+
  private:
   std::vector<std::uint32_t> edge_trussness_;
   std::vector<std::uint32_t> vertex_trussness_;
   std::uint32_t max_trussness_ = 0;
+  TrussPlanStats plan_stats_;
 };
 
 }  // namespace tsd

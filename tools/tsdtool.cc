@@ -21,6 +21,7 @@
 #include "common/flags.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "common/timer.h"
 #include "core/baselines.h"
 #include "core/bound_search.h"
 #include "core/gct_index.h"
@@ -33,6 +34,7 @@
 #include "server/stdin_proto.h"
 #include "truss/parallel_truss.h"
 #include "truss/truss_decomposition.h"
+#include "truss/truss_plan.h"
 
 namespace {
 
@@ -41,7 +43,10 @@ using namespace tsd;
 int Usage() {
   std::cerr <<
       "usage: tsdtool <command> [args]\n"
-      "  stats <edge-list> [--threads=1]           graph + trussness stats\n"
+      "  stats <edge-list> [--threads=1] [--plan=auto]\n"
+      "                                            graph + trussness stats,\n"
+      "                                            plus the plan tuner's\n"
+      "                                            input statistics\n"
       "  topr  <edge-list> [--k=3] [--r=10] [--method=gct] [--threads=1]\n"
       "                                            top-r diversity search\n"
       "  batch <edge-list> --k=4,6,8 [--r=10] [--method=gct] [--threads=1]\n"
@@ -81,7 +86,13 @@ int Usage() {
       "preprocessing stages: the global truss decomposition behind stats and\n"
       "the bound method, triangle counting, and index construction (build).\n"
       "Output is identical at any thread count; --chunks=M tunes load\n"
-      "balancing. Results go to stdout, diagnostics to stderr.\n";
+      "balancing. Results go to stdout, diagnostics to stderr.\n"
+      "--plan={auto,bsp,jacobi,core-truss} picks the truss-decomposition\n"
+      "kernel those preprocessing stages run (e.g. `tsdtool stats g.txt\n"
+      "--plan=core-truss`, `tsdtool topr g.txt --method=bound --plan=jacobi`).\n"
+      "Every plan produces bit-identical trussness — auto picks from the\n"
+      "tuner statistics that `stats` prints; core-truss prunes core-bounded\n"
+      "edges before triangle counting when a query needs only trussness>=k.\n";
   return 2;
 }
 
@@ -174,13 +185,26 @@ std::vector<std::uint32_t> ParseUintList(const std::string& text) {
 
 int RunStats(const Graph& g, const Flags& flags) {
   const ParallelConfig config = ToParallelConfig(QueryOptionsFromFlags(flags));
+  WallTimer decompose_timer;
   TrussDecomposition td(g, config);
+  const double decompose_seconds = decompose_timer.Seconds();
   TablePrinter table({"|V|", "|E|", "d_max", "T", "tau*_G"});
   table.Row(WithThousands(g.num_vertices()), WithThousands(g.num_edges()),
             std::uint64_t{g.max_degree()},
             WithThousands(CountTriangles(g, config)),
             std::uint64_t{td.max_trussness()});
   table.Print(std::cout);
+
+  // The auto-tuner's inputs (truss_plan.h). Pure graph properties, so this
+  // block — like everything on stdout here — is byte-identical under every
+  // --plan; the plan resolution itself is a diagnostic and goes to stderr.
+  const GraphStatistics& gs = td.plan_stats().graph_stats;
+  std::cout << "\nplan tuner statistics:\n";
+  TablePrinter tuner({"density", "avg_deg", "degen<=", "skew"});
+  tuner.Row(FormatDouble(gs.density, 6), FormatDouble(gs.average_degree, 2),
+            std::uint64_t{gs.degeneracy_bound},
+            FormatDouble(gs.degree_skew, 2));
+  tuner.Print(std::cout);
 
   std::cout << "\nedge trussness histogram:\n";
   TablePrinter hist({"trussness", "edges"});
@@ -189,6 +213,14 @@ int RunStats(const Graph& g, const Flags& flags) {
     if (histogram[t] > 0) hist.Row(std::uint64_t{t}, histogram[t]);
   }
   hist.Print(std::cout);
+
+  const TrussPlanStats& ps = td.plan_stats();
+  std::cerr << "plan: " << TrussPlanAlgorithmName(ps.requested)
+            << " -> " << TrussPlanAlgorithmName(ps.algorithm)
+            << (ps.bitmap_kernel ? " (bitmap support kernel)" : "")
+            << ", edges pruned: " << ps.edges_pruned
+            << ", decomposition time: " << HumanSeconds(decompose_seconds)
+            << "\n";
   return 0;
 }
 
