@@ -13,16 +13,37 @@
 // concurrently, at the price of splitting the coalescing pool S ways — the
 // per-shard distribution lines make that trade visible. Every reply is
 // spot-checked against serial TopR.
+//
+// The socket sections then measure the full network path through the epoll
+// SocketServer (frame encode/decode, event loop, eventfd wakeups) two ways:
+//   closed loop  — C clients each keep a bounded pipeline window full;
+//                  throughput is demand-driven and latency is send->reply.
+//   open loop    — requests arrive on a Poisson process at an *offered*
+//                  rate regardless of how the server is doing; latency is
+//                  measured from the scheduled arrival time, so queueing
+//                  delay shows up once the server saturates (the classic
+//                  closed-vs-open distinction: closed loops hide
+//                  coordinated omission, open loops expose it).
+// Both report p50/p99/p999 from the deterministic-merge LatencyHistogram.
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <deque>
 #include <iostream>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/histogram.h"
+#include "common/rng.h"
 #include "core/gct_index.h"
 #include "core/query_session.h"
 #include "server/sharded_serve.h"
+#include "server/socket_proto.h"
+#include "server/socket_serve.h"
 #include "server/tenant_table.h"
 
 namespace {
@@ -51,6 +72,215 @@ std::vector<BatchQuery> RequestMix(const Graph& g) {
     }
   }
   return mix;
+}
+
+/// Client-side accounting for the socket load generators.
+struct WireClientStats {
+  LatencyHistogram latency_ns;
+  std::uint64_t replies = 0;
+  bool ok = true;
+};
+
+std::uint64_t NowMinusNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// One closed-loop client: keeps a window of kWindow requests in flight on
+/// its own connection, measures send->reply latency per request, and
+/// spot-checks every reply body against the serial reference.
+void ClosedLoopClient(std::uint16_t port, std::uint64_t tenant,
+                      std::uint32_t requests,
+                      const std::vector<BatchQuery>& mix,
+                      const std::vector<std::vector<TranscriptEntry>>& reference,
+                      WireClientStats* out) {
+  SocketClient client =
+      SocketClient::Connect("127.0.0.1", port, /*recv_timeout_ms=*/60000);
+  constexpr std::uint32_t kWindow = 4;
+  std::deque<std::pair<std::size_t, std::chrono::steady_clock::time_point>>
+      inflight;
+  auto drain_one = [&] {
+    ServerFrame frame;
+    if (!client.ReadServerFrame(&frame)) {
+      out->ok = false;
+      inflight.clear();
+      return;
+    }
+    const auto [mix_index, sent] = inflight.front();
+    inflight.pop_front();
+    out->latency_ns.Record(NowMinusNs(sent));
+    ++out->replies;
+    if (frame.type != kReplyFrame || frame.status != ServeStatus::kOk ||
+        frame.entries.size() != reference[mix_index].size()) {
+      out->ok = false;
+      return;
+    }
+    for (std::size_t i = 0; i < frame.entries.size(); ++i) {
+      if (frame.entries[i].vertex != reference[mix_index][i].vertex ||
+          frame.entries[i].score != reference[mix_index][i].score) {
+        out->ok = false;
+      }
+    }
+  };
+  for (std::uint32_t i = 0; i < requests && out->ok; ++i) {
+    const std::size_t mix_index = (i + tenant) % mix.size();
+    inflight.emplace_back(mix_index, std::chrono::steady_clock::now());
+    client.SendQuery(tenant, mix[mix_index].k, mix[mix_index].r);
+    if (inflight.size() >= kWindow) drain_one();
+  }
+  while (!inflight.empty()) drain_one();
+}
+
+/// One open-loop run at a fixed offered rate: a sender thread schedules
+/// Poisson (exponential inter-arrival) send times and never waits for
+/// replies; a reader thread timestamps each reply against its request's
+/// *scheduled* send time, so server queueing delay is charged to latency
+/// even when the sender falls behind the schedule itself.
+void OpenLoopRun(std::uint16_t port, double offered_qps,
+                 std::uint32_t requests, const std::vector<BatchQuery>& mix,
+                 WireClientStats* out, double* wall_seconds) {
+  SocketClient client =
+      SocketClient::Connect("127.0.0.1", port, /*recv_timeout_ms=*/60000);
+  std::mutex mutex;
+  std::deque<std::chrono::steady_clock::time_point> scheduled;
+
+  std::thread reader([&] {
+    for (std::uint32_t got = 0; got < requests; ++got) {
+      ServerFrame frame;
+      if (!client.ReadServerFrame(&frame)) {
+        out->ok = false;
+        return;
+      }
+      std::chrono::steady_clock::time_point sched;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        sched = scheduled.front();  // replies arrive in submission order
+        scheduled.pop_front();
+      }
+      out->latency_ns.Record(NowMinusNs(sched));
+      ++out->replies;
+      if (frame.type != kReplyFrame || frame.status != ServeStatus::kOk) {
+        out->ok = false;
+      }
+    }
+  });
+
+  Rng rng(0xb0b0u + static_cast<std::uint64_t>(offered_qps));
+  const auto start = std::chrono::steady_clock::now();
+  auto next = start;
+  for (std::uint32_t i = 0; i < requests; ++i) {
+    const double gap_seconds =
+        -std::log(1.0 - rng.UniformDouble()) / offered_qps;
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(gap_seconds));
+    std::this_thread::sleep_until(next);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      scheduled.push_back(next);
+    }
+    const BatchQuery& q = mix[i % mix.size()];
+    client.SendQuery(/*tenant=*/i % 16, q.k, q.r);
+  }
+  reader.join();
+  *wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+void SocketLoadSection(const GctIndex& gct,
+                       const std::vector<BatchQuery>& mix,
+                       const std::vector<TopRResult>& serial_reference,
+                       const Flags& flags) {
+  std::vector<std::vector<TranscriptEntry>> reference;
+  reference.reserve(serial_reference.size());
+  for (const TopRResult& result : serial_reference) {
+    std::vector<TranscriptEntry> entries;
+    entries.reserve(result.entries.size());
+    for (const TopREntry& entry : result.entries) {
+      entries.push_back(TranscriptEntry{entry.vertex, entry.score});
+    }
+    reference.push_back(std::move(entries));
+  }
+
+  ShardedServeOptions serve_options;
+  serve_options.num_shards = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("socket-shards", 2)));
+  serve_options.shard.max_queue_depth = 1 << 16;  // load gen, no admission
+  ShardedServeLoop loop(gct, serve_options);
+  SocketServer server(loop);  // port 0: kernel-assigned
+  server.Start();
+  const std::uint16_t port = server.port();
+
+  const auto requests_per_client = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("socket-requests", 200)));
+  std::cout << "\nsocket transport (epoll server, loopback, "
+            << serve_options.num_shards << " shards)\n";
+
+  std::cout << "\nclosed-loop load (window=4 per client, "
+            << requests_per_client << " requests/client):\n";
+  TablePrinter closed({"clients", "requests", "wall", "qps", "p50 us",
+                       "p99 us", "p999 us", "identical"});
+  for (std::uint32_t clients : {1u, 2u, 4u}) {
+    std::vector<WireClientStats> stats(clients);
+    WallTimer timer;
+    std::vector<std::thread> threads;
+    for (std::uint32_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClosedLoopClient(port, c, requests_per_client, mix, reference,
+                         &stats[c]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall = timer.Seconds();
+
+    LatencyHistogram merged;
+    bool identical = true;
+    std::uint64_t replies = 0;
+    for (const WireClientStats& s : stats) {
+      merged.Merge(s.latency_ns);
+      identical = identical && s.ok;
+      replies += s.replies;
+    }
+    closed.Row(std::uint64_t{clients}, replies, HumanSeconds(wall),
+               WithThousands(static_cast<std::uint64_t>(
+                   static_cast<double>(replies) / std::max(wall, 1e-9))),
+               FormatDouble(merged.ValueAtQuantile(0.5) / 1000.0, 1),
+               FormatDouble(merged.ValueAtQuantile(0.99) / 1000.0, 1),
+               FormatDouble(merged.ValueAtQuantile(0.999) / 1000.0, 1),
+               identical ? "yes" : "NO");
+  }
+  closed.Print(std::cout);
+
+  const auto open_requests = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("open-requests", 1000)));
+  std::cout << "\nopen-loop load (Poisson arrivals, " << open_requests
+            << " requests/rate, latency from scheduled arrival):\n";
+  TablePrinter open({"offered qps", "achieved qps", "p50 us", "p99 us",
+                     "p999 us", "max us", "ok"});
+  for (const double rate : {1000.0, 4000.0}) {
+    WireClientStats stats;
+    double wall = 0;
+    OpenLoopRun(port, rate, open_requests, mix, &stats, &wall);
+    open.Row(WithThousands(static_cast<std::uint64_t>(rate)),
+             WithThousands(static_cast<std::uint64_t>(
+                 static_cast<double>(stats.replies) / std::max(wall, 1e-9))),
+             FormatDouble(stats.latency_ns.ValueAtQuantile(0.5) / 1000.0, 1),
+             FormatDouble(stats.latency_ns.ValueAtQuantile(0.99) / 1000.0, 1),
+             FormatDouble(stats.latency_ns.ValueAtQuantile(0.999) / 1000.0, 1),
+             FormatDouble(static_cast<double>(stats.latency_ns.max()) / 1000.0,
+                          1),
+             stats.ok ? "yes" : "NO");
+  }
+  open.Print(std::cout);
+  std::cout << "Open-loop p99/p999 grow once the offered rate nears the "
+               "closed-loop qps:\nrequests queue behind a saturated server "
+               "and the schedule charges the wait\nto latency (coordinated "
+               "omission made visible).\n";
+
+  server.Shutdown();
+  loop.Shutdown();
 }
 
 /// Admission hot-path microbench: the per-tenant depth bookkeeping every
@@ -255,6 +485,8 @@ int Run(int argc, char** argv) {
                "the bottleneck (many tiny\nqueries, multi-core servers). "
                "'identical' must read yes everywhere (replies\nare "
                "bit-identical to serial TopR at any shard count).\n";
+
+  SocketLoadSection(gct, mix, reference, flags);
 
   AdmissionMicrobench();
   return 0;

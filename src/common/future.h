@@ -9,6 +9,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -29,6 +30,11 @@ struct FutureState {
   std::condition_variable ready_cv;
   std::optional<T> value;
   bool abandoned = false;  // promise died without Set()
+  /// One-shot completion hook (Future::OnReady): fired — outside the lock,
+  /// on the fulfilling thread — when the value is set or the promise
+  /// abandoned. Lets poll-free event loops (the epoll socket server) learn
+  /// about readiness without blocking a thread per future.
+  std::function<void()> on_ready;
 };
 
 }  // namespace internal
@@ -62,22 +68,31 @@ class Promise {
 
   void Set(T value) {
     TSD_CHECK(state_ != nullptr);
+    std::function<void()> on_ready;
     {
       std::lock_guard<std::mutex> lock(state_->mutex);
       TSD_CHECK_MSG(!state_->value.has_value(), "promise fulfilled twice");
       state_->value.emplace(std::move(value));
+      on_ready = std::move(state_->on_ready);
+      state_->on_ready = nullptr;
     }
     state_->ready_cv.notify_all();
+    if (on_ready) on_ready();  // outside the lock: hooks may take locks
   }
 
  private:
   void Abandon() noexcept {
     if (state_ == nullptr) return;
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    if (!state_->value.has_value()) {
+    std::function<void()> on_ready;
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->value.has_value()) return;
       state_->abandoned = true;
-      state_->ready_cv.notify_all();
+      on_ready = std::move(state_->on_ready);
+      state_->on_ready = nullptr;
     }
+    state_->ready_cv.notify_all();
+    if (on_ready) on_ready();  // abandonment must wake observers too
   }
 
   std::shared_ptr<internal::FutureState<T>> state_;
@@ -100,6 +115,25 @@ class Future {
     TSD_CHECK(valid());
     std::lock_guard<std::mutex> lock(state_->mutex);
     return state_->value.has_value();
+  }
+
+  /// Registers a one-shot completion hook, invoked exactly once when the
+  /// promise is fulfilled OR abandoned. If the future is already ready (or
+  /// abandoned), the hook runs inline on this thread before returning;
+  /// otherwise it runs on the fulfilling thread, outside the state lock, so
+  /// it must be cheap and must not wait on this future. At most one hook
+  /// per future; registering again replaces an unfired hook. The hook does
+  /// NOT consume the value — pair it with Ready()/Get().
+  void OnReady(std::function<void()> hook) {
+    TSD_CHECK(valid());
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (!state_->value.has_value() && !state_->abandoned) {
+        state_->on_ready = std::move(hook);
+        return;
+      }
+    }
+    hook();  // already resolved: fire inline, outside the lock
   }
 
   /// Blocks until the value is set, then moves it out. One call only.

@@ -1,0 +1,134 @@
+// Log-linear latency histogram for the serving layer's tail-latency
+// observability (p50/p99/p999 in the socket server's stats endpoint and the
+// load-generator benches).
+//
+// The design constraint is the same determinism contract the rest of the
+// library keeps: a histogram's state is a pure function of the *multiset*
+// of recorded values — recording order, thread count, and merge shape are
+// invisible. Counts live in fixed log-linear buckets (HdrHistogram's
+// layout: one octave per power of two, 2^kPrecisionBits linear sub-buckets
+// per octave, ~3% relative error), so Merge is element-wise addition —
+// commutative and associative — and any sharded recording scheme
+// (per-connection, per-shard, per-client-thread) collapses to the same
+// totals. Quantiles are answered from bucket lower bounds, which makes them
+// deterministic too: ValueAtQuantile(q) equals the bucket lower bound of
+// the exact order statistic a sorted vector of the recorded values would
+// give (the histogram_test oracle asserts precisely that).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tsd {
+
+/// Fixed-layout log-linear histogram over non-negative 64-bit values
+/// (by convention: latencies in nanoseconds, but unit-agnostic).
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave = 2^kPrecisionBits; relative bucket
+  /// width (and thus worst-case quantile error) is 2^-kPrecisionBits.
+  static constexpr std::uint32_t kPrecisionBits = 5;
+  static constexpr std::uint32_t kSubBuckets = 1u << kPrecisionBits;
+
+  /// Bucket index of `value`. Values below kSubBuckets get exact unit
+  /// buckets; above, the top kPrecisionBits+1 significant bits select the
+  /// bucket. Monotone non-decreasing and contiguous in `value`.
+  static std::size_t BucketIndex(std::uint64_t value) {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    const int exponent = 63 - std::countl_zero(value);  // >= kPrecisionBits
+    const int shift = exponent - static_cast<int>(kPrecisionBits);
+    // mantissa in [kSubBuckets, 2*kSubBuckets)
+    const std::uint64_t mantissa = value >> shift;
+    return static_cast<std::size_t>(shift) * kSubBuckets +
+           static_cast<std::size_t>(mantissa);
+  }
+
+  /// Smallest value mapping to bucket `index` (the bucket's canonical
+  /// representative; exact for values < kSubBuckets).
+  static std::uint64_t BucketLowerBound(std::size_t index) {
+    if (index < 2 * kSubBuckets) return static_cast<std::uint64_t>(index);
+    const std::size_t shift = index / kSubBuckets - 1;
+    const std::uint64_t mantissa = kSubBuckets + index % kSubBuckets;
+    return mantissa << shift;
+  }
+
+  void Record(std::uint64_t value) { RecordMany(value, 1); }
+
+  void RecordMany(std::uint64_t value, std::uint64_t occurrences) {
+    if (occurrences == 0) return;
+    const std::size_t index = BucketIndex(value);
+    if (counts_.size() <= index) counts_.resize(index + 1, 0);
+    counts_[index] += occurrences;
+    count_ += occurrences;
+    sum_ += value * occurrences;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Element-wise accumulation. Commutative and associative: any merge tree
+  /// over per-thread/per-shard histograms yields identical state.
+  void Merge(const LatencyHistogram& other) {
+    if (counts_.size() < other.counts_.size()) {
+      counts_.resize(other.counts_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  /// The bucket lower bound of the order statistic at quantile q in [0, 1]:
+  /// the value of element ceil(q * count) (1-based) of the sorted recorded
+  /// values, rounded down to its bucket boundary. q = 0 gives the min's
+  /// bucket, q = 1 the max's. 0 on an empty histogram.
+  std::uint64_t ValueAtQuantile(double q) const {
+    TSD_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of [0,1]: " << q);
+    if (count_ == 0) return 0;
+    // 1-based rank of the order statistic, clamped into [1, count].
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen >= rank) return BucketLowerBound(i);
+    }
+    return BucketLowerBound(counts_.empty() ? 0 : counts_.size() - 1);
+  }
+
+  /// Calls fn(bucket_lower_bound, count) for every non-empty bucket in
+  /// ascending value order (for rendering distribution tables).
+  template <typename Fn>
+  void ForEachBucket(Fn&& fn) const {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0) fn(BucketLowerBound(i), counts_[i]);
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;  // grown lazily to the highest bucket
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;  // unit * count; wraps only past 2^64 total
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace tsd

@@ -1,0 +1,380 @@
+#include "server/socket_proto.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace tsd {
+namespace {
+
+/// Client-side inbound cap: reply frames are bounded by the server's max_r
+/// (16 bytes per entry) and stats text is a few KB, so anything near this
+/// is a corrupted stream, not a big reply.
+constexpr std::size_t kClientMaxFramePayload = 1u << 24;
+
+}  // namespace
+
+std::uint32_t ReadWireU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t ReadWireU64(const char* p) {
+  return static_cast<std::uint64_t>(ReadWireU32(p)) |
+         (static_cast<std::uint64_t>(ReadWireU32(p + 4)) << 32);
+}
+
+void AppendU32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+void AppendU64(std::string& out, std::uint64_t value) {
+  AppendU32(out, static_cast<std::uint32_t>(value));
+  AppendU32(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::string EncodeFrame(const std::string& payload) {
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  AppendU32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+std::string EncodeQueryFrame(std::uint64_t tenant, std::uint32_t k,
+                             std::uint32_t r) {
+  std::string payload;
+  payload.reserve(17);
+  payload.push_back(static_cast<char>(kQueryFrame));
+  AppendU64(payload, tenant);
+  AppendU32(payload, k);
+  AppendU32(payload, r);
+  return EncodeFrame(payload);
+}
+
+std::string EncodeStatsFrame() {
+  return EncodeFrame(std::string(1, static_cast<char>(kStatsFrame)));
+}
+
+std::string EncodeShutdownFrame() {
+  return EncodeFrame(std::string(1, static_cast<char>(kShutdownFrame)));
+}
+
+std::string EncodeReplyFrame(std::uint64_t id, ServeStatus status,
+                             const std::vector<TranscriptEntry>& entries) {
+  std::string payload;
+  payload.reserve(14 + 16 * entries.size());
+  payload.push_back(static_cast<char>(kReplyFrame));
+  AppendU64(payload, id);
+  payload.push_back(static_cast<char>(status));
+  AppendU32(payload, static_cast<std::uint32_t>(entries.size()));
+  for (const TranscriptEntry& entry : entries) {
+    AppendU64(payload, entry.vertex);
+    AppendU64(payload, entry.score);
+  }
+  return EncodeFrame(payload);
+}
+
+std::string EncodeStatsReplyFrame(std::uint64_t id, const std::string& text) {
+  std::string payload;
+  payload.reserve(9 + text.size());
+  payload.push_back(static_cast<char>(kStatsReplyFrame));
+  AppendU64(payload, id);
+  payload += text;
+  return EncodeFrame(payload);
+}
+
+std::string EncodeErrorFrame(std::uint64_t id, const std::string& message) {
+  std::string payload;
+  payload.reserve(9 + message.size());
+  payload.push_back(static_cast<char>(kErrorFrame));
+  AppendU64(payload, id);
+  payload += message;
+  return EncodeFrame(payload);
+}
+
+bool DecodeClientFrame(const char* payload, std::size_t size,
+                       ClientFrame* out) {
+  if (size < 1) return false;
+  out->type = static_cast<std::uint8_t>(payload[0]);
+  switch (out->type) {
+    case kQueryFrame:
+      if (size != 17) return false;  // strict: no trailing bytes
+      out->tenant = ReadWireU64(payload + 1);
+      out->k = ReadWireU32(payload + 9);
+      out->r = ReadWireU32(payload + 13);
+      return true;
+    case kStatsFrame:
+    case kShutdownFrame:
+      return size == 1;
+    default:
+      return false;
+  }
+}
+
+bool DecodeServerFrame(const char* payload, std::size_t size,
+                       ServerFrame* out) {
+  if (size < 1) return false;
+  out->type = static_cast<std::uint8_t>(payload[0]);
+  out->entries.clear();
+  out->text.clear();
+  switch (out->type) {
+    case kReplyFrame: {
+      if (size < 14) return false;
+      out->id = ReadWireU64(payload + 1);
+      const auto raw_status = static_cast<std::uint8_t>(payload[9]);
+      if (raw_status > static_cast<std::uint8_t>(ServeStatus::kInternalError)) {
+        return false;
+      }
+      out->status = static_cast<ServeStatus>(raw_status);
+      const std::uint32_t count = ReadWireU32(payload + 10);
+      if (size != 14 + std::size_t{count} * 16) return false;
+      out->entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const char* base = payload + 14 + std::size_t{i} * 16;
+        out->entries.push_back(
+            TranscriptEntry{ReadWireU64(base), ReadWireU64(base + 8)});
+      }
+      return true;
+    }
+    case kStatsReplyFrame:
+    case kErrorFrame:
+      if (size < 9) return false;
+      out->id = ReadWireU64(payload + 1);
+      out->text.assign(payload + 9, size - 9);
+      return true;
+    default:
+      return false;
+  }
+}
+
+// --- SocketClient ---
+
+SocketClient::~SocketClient() { Close(); }
+
+SocketClient::SocketClient(SocketClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(std::exchange(other.next_id_, 0)),
+      recv_buffer_(std::move(other.recv_buffer_)) {}
+
+SocketClient& SocketClient::operator=(SocketClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = std::exchange(other.next_id_, 0);
+    recv_buffer_ = std::move(other.recv_buffer_);
+  }
+  return *this;
+}
+
+void SocketClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SocketClient SocketClient::Connect(const std::string& host, std::uint16_t port,
+                                   std::uint32_t recv_timeout_ms,
+                                   int recv_buffer_bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  TSD_CHECK_MSG(fd >= 0, "socket(): " << std::strerror(errno));
+  SocketClient client;
+  client.fd_ = fd;  // owned from here on; Close() on any failure below
+
+  if (recv_buffer_bytes > 0) {
+    // Must be set before connect() so the advertised window shrinks too —
+    // the slow-reader tests rely on a genuinely tiny receive pipe.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &recv_buffer_bytes,
+                 sizeof(recv_buffer_bytes));
+  }
+  if (recv_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  TSD_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                "bad IPv4 address: " << host);
+  TSD_CHECK_MSG(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+          0,
+      "connect(" << host << ":" << port << "): " << std::strerror(errno));
+  return client;
+}
+
+void SocketClient::SendBytes(const std::string& bytes) {
+  TSD_CHECK(connected());
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      TSD_CHECK_MSG(false, "send(): " << std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t SocketClient::SendQuery(std::uint64_t tenant, std::uint32_t k,
+                                      std::uint32_t r) {
+  SendBytes(EncodeQueryFrame(tenant, k, r));
+  return ++next_id_;
+}
+
+std::uint64_t SocketClient::SendStats() {
+  SendBytes(EncodeStatsFrame());
+  return ++next_id_;
+}
+
+std::uint64_t SocketClient::SendShutdown() {
+  SendBytes(EncodeShutdownFrame());
+  return ++next_id_;
+}
+
+void SocketClient::CloseSend() {
+  TSD_CHECK(connected());
+  ::shutdown(fd_, SHUT_WR);
+}
+
+bool SocketClient::ReadFrame(std::string* payload) {
+  TSD_CHECK(connected());
+  auto fill_to = [this](std::size_t needed, bool eof_ok) {
+    while (recv_buffer_.size() < needed) {
+      char chunk[65536];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        recv_buffer_.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        TSD_CHECK_MSG(eof_ok && recv_buffer_.empty(),
+                      "connection closed mid-frame");
+        return false;  // clean EOF at a frame boundary
+      }
+      if (errno == EINTR) continue;
+      TSD_CHECK_MSG(errno != EAGAIN && errno != EWOULDBLOCK,
+                    "recv timeout waiting for a frame");
+      TSD_CHECK_MSG(false, "recv(): " << std::strerror(errno));
+    }
+    return true;
+  };
+
+  if (!fill_to(4, /*eof_ok=*/true)) return false;
+  const std::uint32_t length = ReadWireU32(recv_buffer_.data());
+  TSD_CHECK_MSG(length > 0 && length <= kClientMaxFramePayload,
+                "bad frame length from server: " << length);
+  fill_to(4 + std::size_t{length}, /*eof_ok=*/false);
+  payload->assign(recv_buffer_, 4, length);
+  recv_buffer_.erase(0, 4 + std::size_t{length});
+  return true;
+}
+
+bool SocketClient::ReadServerFrame(ServerFrame* frame) {
+  std::string payload;
+  if (!ReadFrame(&payload)) return false;
+  TSD_CHECK_MSG(DecodeServerFrame(payload.data(), payload.size(), frame),
+                "undecodable server frame (" << payload.size() << " bytes)");
+  return true;
+}
+
+// --- script driver ---
+
+SocketClientScriptStats RunSocketClientScript(std::istream& in,
+                                              std::ostream& out,
+                                              SocketClient& client) {
+  SocketClientScriptStats stats;
+  std::uint64_t outstanding = 0;
+
+  // Replies arrive strictly in submission-id order, so a flush is simply
+  // "read exactly as many frames as are outstanding and render each" — the
+  // reorder buffer the stdin driver needs is the server's job here.
+  auto flush = [&] {
+    while (outstanding > 0) {
+      ServerFrame frame;
+      if (!client.ReadServerFrame(&frame)) break;  // server closed early
+      --outstanding;
+      switch (frame.type) {
+        case kReplyFrame:
+          AppendReplyTranscript(out, frame.id, frame.status, frame.entries);
+          break;
+        case kStatsReplyFrame:
+          out << frame.text;
+          break;
+        case kErrorFrame:
+          out << "! server-error " << frame.text << "\n";
+          ++stats.server_errors;
+          break;
+        default:
+          break;
+      }
+    }
+  };
+
+  std::uint64_t line_number = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Socket-only verbs first; everything else goes through the exact
+    // parser the stdin driver uses.
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.size() == 1 && tokens[0] == "stats") {
+      client.SendStats();
+      ++outstanding;
+      continue;
+    }
+    if (tokens.size() == 1 && tokens[0] == "shutdown") {
+      client.SendShutdown();
+      ++outstanding;
+      flush();  // the ack is the last frame before the server drains us
+      continue;
+    }
+    ServeRequest request;
+    switch (ParseProtoLine(line, &request)) {
+      case ProtoLineKind::kSkip:
+        break;
+      case ProtoLineKind::kFlush:
+        flush();
+        break;
+      case ProtoLineKind::kQuery:
+        client.SendQuery(request.tenant, request.k, request.r);
+        ++outstanding;
+        ++stats.requests;
+        break;
+      case ProtoLineKind::kError:
+        out << "! parse-error line " << line_number << "\n";
+        ++stats.parse_errors;
+        break;
+    }
+  }
+  flush();
+  return stats;
+}
+
+}  // namespace tsd

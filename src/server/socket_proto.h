@@ -1,0 +1,178 @@
+// Wire format of the socket transport, plus a small blocking client.
+//
+// Framing: every message is a 4-byte little-endian payload length followed
+// by that many payload bytes; payload byte 0 is the frame type. Lengths of
+// zero or beyond the server's max_frame_payload are protocol errors (the
+// length prefix is attacker-controlled input — the server must never trust
+// it to allocate).
+//
+//   client -> server
+//     kQueryFrame    u8 type, u64 tenant, u32 k, u32 r      (17 bytes)
+//     kStatsFrame    u8 type                                 (1 byte)
+//     kShutdownFrame u8 type                                 (1 byte)
+//   server -> client (strictly in per-connection submission order)
+//     kReplyFrame      u8 type, u64 id, u8 status, u32 n, n x (u64 vertex,
+//                      u64 score)
+//     kStatsReplyFrame u8 type, u64 id, rendered stats table bytes
+//     kErrorFrame      u8 type, u64 id (0 = not tied to a request), message
+//
+// Every request on a connection — query, stats, shutdown — consumes the
+// next 1-based id, and the server emits replies strictly by ascending id
+// (the same sequencing contract as the stdin protocol's reorder buffer),
+// which is what makes a socket transcript byte-comparable to a stdin
+// transcript for the same request stream. All integers little-endian on
+// the wire regardless of host order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "server/serve_types.h"
+#include "server/stdin_proto.h"  // TranscriptEntry + shared line parser
+
+namespace tsd {
+
+enum SocketFrameType : std::uint8_t {
+  // client -> server
+  kQueryFrame = 1,
+  kStatsFrame = 2,
+  kShutdownFrame = 3,
+  // server -> client
+  kReplyFrame = 1,
+  kStatsReplyFrame = 2,
+  kErrorFrame = 3,
+};
+
+/// Default inbound frame-payload cap; a length prefix above this is a
+/// protocol error, never an allocation.
+inline constexpr std::size_t kDefaultMaxFramePayload = 1u << 20;
+
+// --- encoding helpers (append to a byte string) ---
+
+void AppendU32(std::string& out, std::uint32_t value);
+void AppendU64(std::string& out, std::uint64_t value);
+
+/// Little-endian wire reads; `p` must have 4 (8) readable bytes.
+std::uint32_t ReadWireU32(const char* p);
+std::uint64_t ReadWireU64(const char* p);
+
+/// Wraps `payload` in a length prefix.
+std::string EncodeFrame(const std::string& payload);
+
+std::string EncodeQueryFrame(std::uint64_t tenant, std::uint32_t k,
+                             std::uint32_t r);
+std::string EncodeStatsFrame();
+std::string EncodeShutdownFrame();
+
+std::string EncodeReplyFrame(std::uint64_t id, ServeStatus status,
+                             const std::vector<TranscriptEntry>& entries);
+std::string EncodeStatsReplyFrame(std::uint64_t id, const std::string& text);
+std::string EncodeErrorFrame(std::uint64_t id, const std::string& message);
+
+// --- decoding ---
+
+/// A decoded client->server frame.
+struct ClientFrame {
+  std::uint8_t type = 0;
+  std::uint64_t tenant = 0;
+  std::uint32_t k = 0;
+  std::uint32_t r = 0;
+};
+
+/// Strict decode of one client payload: exact length for its type, no
+/// trailing bytes. False on anything malformed.
+bool DecodeClientFrame(const char* payload, std::size_t size, ClientFrame* out);
+
+/// A decoded server->client frame.
+struct ServerFrame {
+  std::uint8_t type = 0;
+  std::uint64_t id = 0;
+  ServeStatus status = ServeStatus::kOk;           // kReplyFrame
+  std::vector<TranscriptEntry> entries;            // kReplyFrame
+  std::string text;                                // stats table / error msg
+};
+
+/// Strict decode of one server payload. False on anything malformed.
+bool DecodeServerFrame(const char* payload, std::size_t size, ServerFrame* out);
+
+// --- blocking client (tools, tests, benches, examples) ---
+
+/// Minimal blocking IPv4 client for the socket transport. One in-flight
+/// pipeline: send any number of requests, then read replies — the server
+/// returns them in submission order. Not thread-safe for concurrent sends;
+/// one thread may send while another reads (the load-generator shape).
+class SocketClient {
+ public:
+  SocketClient() = default;
+  ~SocketClient();
+  SocketClient(SocketClient&& other) noexcept;
+  SocketClient& operator=(SocketClient&& other) noexcept;
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  /// Connects to host:port. `recv_timeout_ms` > 0 turns a silent server
+  /// into a hard CheckError instead of a hang (tests always set it);
+  /// `recv_buffer_bytes` > 0 shrinks SO_RCVBUF before connecting — the
+  /// slow-reader backpressure tests use a tiny window on purpose. Throws
+  /// CheckError when the connection fails.
+  static SocketClient Connect(const std::string& host, std::uint16_t port,
+                              std::uint32_t recv_timeout_ms = 0,
+                              int recv_buffer_bytes = 0);
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends a query/stats/shutdown request; returns its 1-based id in this
+  /// connection's sequence.
+  std::uint64_t SendQuery(std::uint64_t tenant, std::uint32_t k,
+                          std::uint32_t r);
+  std::uint64_t SendStats();
+  std::uint64_t SendShutdown();
+
+  /// Sends raw bytes verbatim (fuzz tests craft malformed frames with it).
+  void SendBytes(const std::string& bytes);
+
+  /// Half-closes the write side (signals EOF to the server's read loop
+  /// while keeping the read side open for outstanding replies).
+  void CloseSend();
+
+  /// Reads one length-prefixed frame payload. False on clean EOF; throws
+  /// CheckError on timeouts, truncated frames, or oversized lengths.
+  bool ReadFrame(std::string* payload);
+
+  /// Reads and decodes one server frame. False on clean EOF.
+  bool ReadServerFrame(ServerFrame* frame);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_id_ = 0;
+  std::string recv_buffer_;  // bytes read past the previous frame
+};
+
+/// Driver-side stats of RunSocketClientScript (mirrors StdinProtoStats).
+struct SocketClientScriptStats {
+  std::uint64_t requests = 0;
+  std::uint64_t parse_errors = 0;
+  /// Server-sent kErrorFrames (0 for well-formed scripts).
+  std::uint64_t server_errors = 0;
+};
+
+/// Drives the same text script the stdin protocol reads — `q <tenant> <k>
+/// <r>` / `flush` / comments — through a connected SocketClient, writing
+/// the transcript to `out`. The request lines are parsed by the *same*
+/// ParseProtoLine as the stdin driver and replies are rendered by the same
+/// AppendReplyTranscript, so for any script the socket transcript is
+/// byte-identical to the stdin transcript by construction — which the
+/// differential tests then verify end to end across shard and thread
+/// counts. Two extra verbs are socket-only: `stats` prints the server's
+/// rendered stats tables, `shutdown` asks the server to drain and exit
+/// (both flush first so transcript ordering stays deterministic).
+SocketClientScriptStats RunSocketClientScript(std::istream& in,
+                                              std::ostream& out,
+                                              SocketClient& client);
+
+}  // namespace tsd

@@ -1,0 +1,672 @@
+#include "server/socket_serve.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace tsd {
+namespace {
+
+/// How long a finished connection lingers after its FIN waiting for the
+/// client's EOF before being closed anyway. Closing earlier, with inbound
+/// bytes still unread, would turn the close into an RST that can revoke
+/// flushed-but-undelivered replies.
+constexpr std::uint32_t kLingerTimeoutMs = 1000;
+
+}  // namespace
+
+namespace internal {
+
+/// Owns the eventfd the event loop sleeps on. Shared (via shared_ptr) with
+/// every OnReady hook handed to the serve loop, so a consumer thread firing
+/// a hook after the server object died still writes to a descriptor that is
+/// open and, crucially, not yet recycled for something else.
+class EventFdWaker {
+ public:
+  EventFdWaker() : fd_(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+    TSD_CHECK_MSG(fd_ >= 0, "eventfd(): " << std::strerror(errno));
+  }
+  ~EventFdWaker() { ::close(fd_); }
+  EventFdWaker(const EventFdWaker&) = delete;
+  EventFdWaker& operator=(const EventFdWaker&) = delete;
+
+  int fd() const { return fd_; }
+
+  void Wake() {
+    const std::uint64_t one = 1;
+    // A saturated counter (EAGAIN) still leaves the fd readable, which is
+    // all a wakeup needs; no error here requires handling.
+    [[maybe_unused]] const ssize_t n = ::write(fd_, &one, sizeof(one));
+  }
+
+  void Drain() {
+    std::uint64_t value = 0;
+    while (::read(fd_, &value, sizeof(value)) > 0) {
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+/// One reply owed to a connection, in submission order: either a future
+/// from the serve loop (queries) or an already-encoded frame (stats
+/// replies, shutdown acks, protocol errors).
+struct PendingReply {
+  std::uint64_t id = 0;
+  bool immediate = false;
+  std::string frame;          // immediate only
+  Future<ServeReply> future;  // query only
+  std::chrono::steady_clock::time_point submitted{};
+};
+
+struct SocketConnection {
+  int fd = -1;
+  std::string inbuf;                 // unparsed bytes (at most one partial frame
+                                     // plus whatever arrived while paused)
+  std::deque<PendingReply> pending;  // replies owed, ascending id
+  std::string outbuf;                // encoded frames awaiting send
+  std::size_t outbuf_off = 0;        // prefix of outbuf already sent
+  std::uint64_t next_id = 0;
+  std::uint32_t armed_events = EPOLLIN;
+  bool paused = false;         // reads paused by backpressure
+  bool read_shutdown = false;  // reads stopped for good (EOF/error/drain)
+  bool want_close = false;     // close once pending is answered and flushed
+  bool dead = false;           // close now, abandoning pending replies
+  bool lingering = false;      // FIN sent; discarding input until client EOF
+  std::chrono::steady_clock::time_point linger_deadline{};
+
+  std::size_t outbound_bytes() const { return outbuf.size() - outbuf_off; }
+  bool ShouldRead() const { return !read_shutdown && !paused && !dead; }
+};
+
+}  // namespace internal
+
+SocketServer::SocketServer(ServeSubmitter& loop, SocketServerOptions options)
+    : loop_(loop),
+      options_(std::move(options)),
+      waker_(std::make_shared<internal::EventFdWaker>()) {}
+
+SocketServer::~SocketServer() { Shutdown(); }
+
+void SocketServer::Start() {
+  if (started_.exchange(true)) return;
+  loop_.Start();
+
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  TSD_CHECK_MSG(listen_fd_ >= 0, "socket(): " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  TSD_CHECK_MSG(
+      ::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) == 1,
+      "bad IPv4 bind address: " << options_.bind_address);
+  TSD_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "bind(" << options_.bind_address << ":" << options_.port
+                        << "): " << std::strerror(errno));
+  socklen_t addr_len = sizeof(addr);
+  TSD_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len) == 0);
+  bound_port_ = ntohs(addr.sin_port);
+  TSD_CHECK_MSG(
+      ::listen(listen_fd_, static_cast<int>(options_.listen_backlog)) == 0,
+      "listen(): " << std::strerror(errno));
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  TSD_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1(): " << std::strerror(errno));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  TSD_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+  ev.events = EPOLLIN;
+  ev.data.fd = waker_->fd();
+  TSD_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, waker_->fd(), &ev) == 0);
+
+  event_thread_ = std::thread([this] { EventLoop(); });
+}
+
+std::uint16_t SocketServer::port() const {
+  TSD_CHECK_MSG(started_.load(std::memory_order_acquire),
+                "Start() the server before asking for its port");
+  return bound_port_;
+}
+
+void SocketServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!started_.load(std::memory_order_acquire)) return;
+  shutdown_requested_.store(true, std::memory_order_release);
+  waker_->Wake();
+  if (event_thread_.joinable()) {
+    event_thread_.join();
+  } else {
+    // Start() threw before spawning the loop; reclaim what it opened.
+    if (listen_fd_ >= 0) ::close(std::exchange(listen_fd_, -1));
+    if (epoll_fd_ >= 0) ::close(std::exchange(epoll_fd_, -1));
+  }
+  {
+    std::lock_guard<std::mutex> exit_lock(exit_mutex_);
+    loop_exited_ = true;
+  }
+  exit_cv_.notify_all();
+}
+
+void SocketServer::WaitUntilShutdown() {
+  std::unique_lock<std::mutex> lock(exit_mutex_);
+  exit_cv_.wait(lock, [this] { return loop_exited_; });
+}
+
+void SocketServer::EventLoop() {
+  std::vector<epoll_event> events(64);
+  while (true) {
+    if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
+      BeginDrain();
+    }
+
+    // Settle: move ready replies into outbufs and outbufs onto the wire
+    // until neither side can make progress. Flushing frees outbound budget,
+    // which can unblock more harvesting (and un-pause reading), which can
+    // fill it again — hence the fixpoint loop rather than one pass.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto& [fd, conn] : connections_) {
+        if (conn->dead) continue;
+        if (HarvestConnection(*conn)) progress = true;
+        if (FlushConnection(*conn)) progress = true;
+      }
+    }
+
+    // Reap dead connections, and move finished ones (everything answered
+    // and flushed) into a lingering close. Dropped pending futures are
+    // safe: the serve loop still fulfils the promises, the values just
+    // have no reader anymore.
+    std::vector<int> reap;
+    bool any_lingering = false;
+    for (auto& [fd, conn] : connections_) {
+      if (conn->dead) {
+        reap.push_back(fd);
+        continue;
+      }
+      if (conn->want_close && conn->pending.empty() &&
+          conn->outbound_bytes() == 0) {
+        if (!conn->lingering) {
+          // Everything owed is on the wire, but a hard close now would RST
+          // the connection — and an RST revokes flushed-but-undelivered
+          // replies, breaking the drain guarantee. Send FIN and keep
+          // discarding input until the client closes its end (with a
+          // deadline for clients that never do).
+          ::shutdown(conn->fd, SHUT_WR);
+          conn->lingering = true;
+          conn->linger_deadline =
+              Clock::now() + std::chrono::milliseconds(kLingerTimeoutMs);
+          UpdateInterest(*conn);
+        } else if (Clock::now() >= conn->linger_deadline) {
+          reap.push_back(fd);
+          continue;
+        }
+        any_lingering = true;
+      }
+    }
+    for (int fd : reap) CloseConnection(fd);
+
+    if (draining_) {
+      if (connections_.empty()) break;
+      if (Clock::now() >= drain_deadline_) {
+        // Whoever still has unflushed replies is not reading; cut them off.
+        std::vector<int> remaining;
+        remaining.reserve(connections_.size());
+        for (auto& [fd, conn] : connections_) remaining.push_back(fd);
+        for (int fd : remaining) CloseConnection(fd);
+        break;
+      }
+    }
+
+    // Draining and lingering poll so their deadlines are honored even with
+    // no fd activity.
+    const int timeout_ms = (draining_ || any_lingering) ? 20 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; bail out rather than spin
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t got = events[i].events;
+      if (fd == waker_->fd()) {
+        waker_->Drain();  // a future completed; the settle pass harvests it
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptConnections();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection& c = *it->second;
+      if (got & (EPOLLERR | EPOLLHUP)) {
+        c.dead = true;
+        continue;
+      }
+      if (got & EPOLLIN) ReadFromConnection(c);
+      if (got & EPOLLOUT) FlushConnection(c);
+    }
+  }
+
+  std::vector<int> remaining;
+  remaining.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) remaining.push_back(fd);
+  for (int fd : remaining) CloseConnection(fd);
+  if (listen_fd_ >= 0) ::close(std::exchange(listen_fd_, -1));
+  if (epoll_fd_ >= 0) ::close(std::exchange(epoll_fd_, -1));
+  {
+    std::lock_guard<std::mutex> lock(exit_mutex_);
+    loop_exited_ = true;
+  }
+  exit_cv_.notify_all();
+}
+
+void SocketServer::BeginDrain() {
+  draining_ = true;
+  drain_deadline_ =
+      Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  if (listen_fd_ >= 0) {
+    // Adopt whatever finished its handshake but was not accepted yet:
+    // closing the listen socket RSTs its backlog, and a client whose
+    // connect() succeeded must see a clean EOF, never a reset.
+    AcceptConnections();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(std::exchange(listen_fd_, -1));
+  }
+  for (auto& [fd, conn] : connections_) {
+    conn->read_shutdown = true;
+    conn->paused = false;
+    conn->inbuf.clear();  // a partial frame at drain time is abandoned
+    conn->want_close = true;
+    UpdateInterest(*conn);
+  }
+}
+
+void SocketServer::AcceptConnections() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (backlog drained) or a transient accept failure
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void SocketServer::ReadFromConnection(Connection& c) {
+  if (c.lingering) {
+    // Past FIN: discard whatever still arrives so the eventual close finds
+    // an empty receive queue (no RST). The client's own EOF or reset ends
+    // the connection.
+    while (true) {
+      char chunk[4096];
+      const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
+      if (n > 0) continue;
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      c.dead = true;  // EOF or error: safe to close for real now
+      return;
+    }
+  }
+  while (c.ShouldRead()) {
+    char chunk[65536];
+    const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.bytes_in += static_cast<std::uint64_t>(n);
+      }
+      c.inbuf.append(chunk, static_cast<std::size_t>(n));
+      ParseFrames(c);
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) return;  // drained
+      continue;
+    }
+    if (n == 0) {
+      // EOF: answer everything already submitted, then close. Bytes of a
+      // torn frame are dropped — a mid-frame disconnect leaves no one to
+      // hear about the error.
+      c.read_shutdown = true;
+      c.inbuf.clear();
+      c.want_close = true;
+      UpdateInterest(c);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    c.dead = true;  // ECONNRESET and friends
+    return;
+  }
+}
+
+void SocketServer::ParseFrames(Connection& c) {
+  std::size_t consumed = 0;
+  while (!c.read_shutdown && !c.dead) {
+    if (OverInboundLimit(c)) {
+      // Leftover bytes stay in inbuf and parse when the client drains
+      // enough replies for MaybeResumeReading to fire.
+      if (!c.paused) {
+        c.paused = true;
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.backpressure_pauses;
+        }
+        UpdateInterest(c);
+      }
+      break;
+    }
+    if (c.inbuf.size() - consumed < 4) break;
+    const std::uint32_t length = ReadWireU32(c.inbuf.data() + consumed);
+    if (length == 0 || length > options_.max_frame_payload) {
+      ProtocolError(c, "bad frame length " + std::to_string(length));
+      break;
+    }
+    if (c.inbuf.size() - consumed < 4 + std::size_t{length}) break;
+    DispatchFrame(c, c.inbuf.data() + consumed + 4, length);
+    consumed += 4 + std::size_t{length};
+  }
+  c.inbuf.erase(0, consumed);
+  if (c.read_shutdown) c.inbuf.clear();
+}
+
+void SocketServer::DispatchFrame(Connection& c, const char* payload,
+                                 std::size_t size) {
+  ClientFrame frame;
+  if (!DecodeClientFrame(payload, size, &frame)) {
+    ProtocolError(c, "undecodable frame");
+    return;
+  }
+  const std::uint64_t id = ++c.next_id;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.frames_in;
+  }
+  switch (frame.type) {
+    case kQueryFrame: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.queries;
+        auto it = tenants_.find(frame.tenant);
+        if (it != tenants_.end()) {
+          ++it->second;
+        } else if (tenants_.size() < kMaxTrackedTenants) {
+          tenants_.emplace(frame.tenant, 1);
+        } else {
+          ++stats_.untracked_tenant_queries;
+        }
+      }
+      internal::PendingReply reply;
+      reply.id = id;
+      reply.submitted = Clock::now();
+      ServeRequest request;
+      request.tenant = frame.tenant;
+      request.k = frame.k;
+      request.r = frame.r;
+      reply.future = loop_.Submit(request);
+      reply.future.OnReady([waker = waker_] { waker->Wake(); });
+      c.pending.push_back(std::move(reply));
+      break;
+    }
+    case kStatsFrame: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.stats_requests;
+      }
+      internal::PendingReply reply;
+      reply.id = id;
+      reply.immediate = true;
+      reply.frame = EncodeStatsReplyFrame(id, RenderStatsTables());
+      c.pending.push_back(std::move(reply));
+      break;
+    }
+    case kShutdownFrame: {
+      internal::PendingReply reply;
+      reply.id = id;
+      reply.immediate = true;
+      if (options_.enable_remote_shutdown) {
+        reply.frame = EncodeReplyFrame(id, ServeStatus::kOk, {});
+        shutdown_requested_.store(true, std::memory_order_release);
+      } else {
+        reply.frame = EncodeErrorFrame(id, "remote shutdown disabled");
+      }
+      c.pending.push_back(std::move(reply));
+      break;
+    }
+    default:
+      break;  // unreachable: DecodeClientFrame rejects unknown types
+  }
+}
+
+void SocketServer::ProtocolError(Connection& c, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.protocol_errors;
+  }
+  internal::PendingReply reply;
+  reply.immediate = true;  // id 0: not tied to a well-formed request
+  reply.frame = EncodeErrorFrame(0, message);
+  c.pending.push_back(std::move(reply));
+  // Stop reading the poisoned stream, but emit every reply owed for the
+  // frames before the bad one first — then close.
+  c.read_shutdown = true;
+  c.paused = false;
+  c.want_close = true;
+  UpdateInterest(c);
+}
+
+bool SocketServer::HarvestConnection(Connection& c) {
+  bool appended = false;
+  while (!c.pending.empty() &&
+         c.outbound_bytes() < options_.max_outbound_bytes) {
+    internal::PendingReply& front = c.pending.front();
+    std::string frame;
+    if (front.immediate) {
+      frame = std::move(front.frame);
+    } else {
+      if (!front.future.Ready()) break;  // strict id order: wait for it
+      const ServeReply reply = front.future.Get();
+      const auto latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now() - front.submitted);
+      std::vector<TranscriptEntry> entries;
+      if (reply.status == ServeStatus::kOk) {
+        entries.reserve(reply.result.entries.size());
+        for (const TopREntry& entry : reply.result.entries) {
+          entries.push_back(TranscriptEntry{entry.vertex, entry.score});
+        }
+      }
+      frame = EncodeReplyFrame(front.id, reply.status, entries);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.latency_ns.Record(static_cast<std::uint64_t>(latency.count()));
+    }
+    c.pending.pop_front();
+    AppendOutbound(c, std::move(frame));
+    appended = true;
+  }
+  return appended;
+}
+
+void SocketServer::AppendOutbound(Connection& c, std::string frame) {
+  // Compact the already-sent prefix before growing the buffer.
+  if (c.outbuf_off > 0 &&
+      (c.outbuf_off == c.outbuf.size() || c.outbuf_off >= 65536)) {
+    c.outbuf.erase(0, c.outbuf_off);
+    c.outbuf_off = 0;
+  }
+  c.outbuf += frame;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.replies_sent;
+    if (c.outbound_bytes() > stats_.outbound_high_water) {
+      stats_.outbound_high_water = c.outbound_bytes();
+    }
+  }
+  if (!c.paused && !c.read_shutdown && OverInboundLimit(c)) {
+    c.paused = true;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.backpressure_pauses;
+    }
+    UpdateInterest(c);
+  }
+}
+
+bool SocketServer::FlushConnection(Connection& c) {
+  if (c.dead) return false;
+  bool progressed = false;
+  while (c.outbound_bytes() > 0) {
+    const ssize_t n = ::send(c.fd, c.outbuf.data() + c.outbuf_off,
+                             c.outbound_bytes(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.outbuf_off += static_cast<std::size_t>(n);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.bytes_out += static_cast<std::uint64_t>(n);
+      }
+      progressed = true;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    c.dead = true;  // EPIPE/ECONNRESET: the reader is gone
+    return progressed;
+  }
+  if (c.outbound_bytes() == 0) {
+    c.outbuf.clear();
+    c.outbuf_off = 0;
+  }
+  UpdateInterest(c);  // (dis)arms EPOLLOUT to match the remaining bytes
+  MaybeResumeReading(c);
+  return progressed;
+}
+
+void SocketServer::MaybeResumeReading(Connection& c) {
+  if (!c.paused || c.dead || c.read_shutdown) return;
+  if (OverInboundLimit(c)) return;
+  c.paused = false;
+  UpdateInterest(c);
+  // Frames that arrived before the pause may be sitting whole in inbuf;
+  // epoll will not re-announce them, so parse now.
+  ParseFrames(c);
+}
+
+void SocketServer::UpdateInterest(Connection& c) {
+  std::uint32_t desired = 0;
+  // A lingering connection reads (and discards) so the client's EOF is
+  // noticed without waiting for the linger deadline.
+  if (c.ShouldRead() || c.lingering) desired |= EPOLLIN;
+  if (c.outbound_bytes() > 0) desired |= EPOLLOUT;
+  if (desired == c.armed_events) return;
+  epoll_event ev{};
+  ev.events = desired;
+  ev.data.fd = c.fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c.fd, &ev) == 0) {
+    c.armed_events = desired;
+  }
+}
+
+void SocketServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.connections_closed;
+}
+
+bool SocketServer::OverInboundLimit(const Connection& c) const {
+  return c.outbound_bytes() >= options_.max_outbound_bytes ||
+         c.pending.size() >= options_.max_pending_replies;
+}
+
+SocketServerStats SocketServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  SocketServerStats snapshot = stats_;
+  snapshot.tenant_queries.assign(tenants_.begin(), tenants_.end());
+  return snapshot;
+}
+
+std::string SocketServer::RenderStatsTables() const {
+  const SocketServerStats s = stats();
+  std::ostringstream out;
+
+  out << "socket transport\n";
+  TablePrinter transport({"conns", "frames-in", "queries", "replies",
+                          "proto-err", "bytes-in", "bytes-out", "bp-pauses",
+                          "out-hwm"});
+  transport.Row(s.connections_accepted, s.frames_in, s.queries, s.replies_sent,
+                s.protocol_errors, HumanBytes(s.bytes_in),
+                HumanBytes(s.bytes_out), s.backpressure_pauses,
+                HumanBytes(s.outbound_high_water));
+  transport.Print(out);
+
+  out << "\nquery latency (submit->harvest, usec)\n";
+  const LatencyHistogram& h = s.latency_ns;
+  const auto usec = [](double ns) { return FormatDouble(ns / 1000.0, 1); };
+  TablePrinter latency({"count", "mean", "p50", "p99", "p999", "max"});
+  latency.Row(h.count(), usec(h.Mean()),
+              usec(static_cast<double>(h.ValueAtQuantile(0.5))),
+              usec(static_cast<double>(h.ValueAtQuantile(0.99))),
+              usec(static_cast<double>(h.ValueAtQuantile(0.999))),
+              usec(static_cast<double>(h.max())));
+  latency.Print(out);
+
+  out << "\nper-tenant queries\n";
+  TablePrinter tenants({"tenant", "queries"});
+  constexpr std::size_t kMaxRows = 32;
+  std::uint64_t folded = s.untracked_tenant_queries;
+  std::size_t rows = 0;
+  for (const auto& [tenant, queries] : s.tenant_queries) {
+    if (rows < kMaxRows) {
+      tenants.Row(tenant, queries);
+      ++rows;
+    } else {
+      folded += queries;
+    }
+  }
+  if (folded > 0) tenants.Row("(other)", folded);
+  tenants.Print(out);
+
+  if (options_.extra_stats) out << "\n" << options_.extra_stats();
+  return out.str();
+}
+
+}  // namespace tsd

@@ -57,16 +57,7 @@ class ReplyReorderBuffer {
       const ServeReply reply =
           entry.reply.has_value() ? std::move(*entry.reply)
                                   : entry.future.Get();  // blocks in id order
-      if (reply.status == ServeStatus::kOk) {
-        out << "= " << entry.id << " ok entries=" << reply.result.entries.size()
-            << "\n";
-        for (std::size_t i = 0; i < reply.result.entries.size(); ++i) {
-          out << i + 1 << " " << reply.result.entries[i].vertex << " "
-              << reply.result.entries[i].score << "\n";
-        }
-      } else {
-        out << "= " << entry.id << " " << ServeStatusName(reply.status) << "\n";
-      }
+      AppendReplyTranscript(out, entry.id, reply);
     }
     entries_.clear();
     harvested_ = 0;
@@ -85,6 +76,50 @@ class ReplyReorderBuffer {
 
 }  // namespace
 
+ProtoLineKind ParseProtoLine(const std::string& line, ServeRequest* request) {
+  const std::vector<std::string> tokens = SplitWhitespace(line);
+  if (tokens.empty() || tokens[0][0] == '#') return ProtoLineKind::kSkip;
+  if (tokens[0] == "flush" && tokens.size() == 1) return ProtoLineKind::kFlush;
+  std::uint64_t tenant = 0;
+  std::uint64_t k = 0;
+  std::uint64_t r = 0;
+  if (tokens[0] == "q" && tokens.size() == 4 && ParseU64(tokens[1], &tenant) &&
+      ParseU64(tokens[2], &k) && ParseU64(tokens[3], &r) && k <= UINT32_MAX &&
+      r <= UINT32_MAX) {
+    request->tenant = tenant;
+    request->k = static_cast<std::uint32_t>(k);
+    request->r = static_cast<std::uint32_t>(r);
+    return ProtoLineKind::kQuery;
+  }
+  return ProtoLineKind::kError;
+}
+
+void AppendReplyTranscript(std::ostream& out, std::uint64_t id,
+                           ServeStatus status,
+                           const std::vector<TranscriptEntry>& entries) {
+  if (status == ServeStatus::kOk) {
+    out << "= " << id << " ok entries=" << entries.size() << "\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      out << i + 1 << " " << entries[i].vertex << " " << entries[i].score
+          << "\n";
+    }
+  } else {
+    out << "= " << id << " " << ServeStatusName(status) << "\n";
+  }
+}
+
+void AppendReplyTranscript(std::ostream& out, std::uint64_t id,
+                           const ServeReply& reply) {
+  std::vector<TranscriptEntry> entries;
+  if (reply.status == ServeStatus::kOk) {
+    entries.reserve(reply.result.entries.size());
+    for (const TopREntry& entry : reply.result.entries) {
+      entries.push_back(TranscriptEntry{entry.vertex, entry.score});
+    }
+  }
+  AppendReplyTranscript(out, id, reply.status, entries);
+}
+
 StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
                               ServeSubmitter& loop) {
   StdinProtoStats stats;
@@ -94,28 +129,22 @@ StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
   std::string line;
   while (std::getline(in, line)) {
     ++line_number;
-    const std::vector<std::string> tokens = SplitWhitespace(line);
-    if (tokens.empty() || tokens[0][0] == '#') continue;
-    if (tokens[0] == "flush" && tokens.size() == 1) {
-      outstanding.FlushTo(out);
-      continue;
-    }
-    std::uint64_t tenant = 0;
-    std::uint64_t k = 0;
-    std::uint64_t r = 0;
-    if (tokens[0] == "q" && tokens.size() == 4 &&
-        ParseU64(tokens[1], &tenant) && ParseU64(tokens[2], &k) &&
-        ParseU64(tokens[3], &r) && k <= UINT32_MAX && r <= UINT32_MAX) {
-      loop.Start();
-      ServeRequest request;
-      request.tenant = tenant;
-      request.k = static_cast<std::uint32_t>(k);
-      request.r = static_cast<std::uint32_t>(r);
-      outstanding.Add(next_id++, loop.Submit(request));
-      ++stats.requests;
-    } else {
-      out << "! parse-error line " << line_number << "\n";
-      ++stats.parse_errors;
+    ServeRequest request;
+    switch (ParseProtoLine(line, &request)) {
+      case ProtoLineKind::kSkip:
+        break;
+      case ProtoLineKind::kFlush:
+        outstanding.FlushTo(out);
+        break;
+      case ProtoLineKind::kQuery:
+        loop.Start();
+        outstanding.Add(next_id++, loop.Submit(request));
+        ++stats.requests;
+        break;
+      case ProtoLineKind::kError:
+        out << "! parse-error line " << line_number << "\n";
+        ++stats.parse_errors;
+        break;
     }
   }
   outstanding.FlushTo(out);

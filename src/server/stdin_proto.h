@@ -28,6 +28,8 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "server/serve_types.h"
 
@@ -37,6 +39,39 @@ struct StdinProtoStats {
   std::uint64_t requests = 0;
   std::uint64_t parse_errors = 0;
 };
+
+/// Classification of one request line of the text protocol.
+enum class ProtoLineKind {
+  kSkip,   // blank line or '#' comment
+  kQuery,  // "q <tenant> <k> <r>" — *request is filled in
+  kFlush,  // "flush"
+  kError,  // anything else (emit "! parse-error line <n>")
+};
+
+/// Parses one line of the text protocol. Shared by the stdin driver and the
+/// socket client's script driver (tools/tsdtool client), so both transports
+/// accept and reject exactly the same request streams — a prerequisite for
+/// the byte-identical-transcript contract CI enforces.
+ProtoLineKind ParseProtoLine(const std::string& line, ServeRequest* request);
+
+/// One (vertex, score) row of a reply, decoupled from TopREntry so decoded
+/// wire replies and in-process ServeReplies render through one function.
+struct TranscriptEntry {
+  std::uint64_t vertex = 0;
+  std::uint64_t score = 0;
+};
+
+/// Renders one reply in the canonical transcript format — the exact bytes
+/// both transports must produce:
+///   = <id> ok entries=<n>    then n lines "<rank> <vertex> <score>"
+///   = <id> <status-name>     for rejections and internal errors
+void AppendReplyTranscript(std::ostream& out, std::uint64_t id,
+                           ServeStatus status,
+                           const std::vector<TranscriptEntry>& entries);
+
+/// ServeReply flavor of the renderer (used by the stdin driver).
+void AppendReplyTranscript(std::ostream& out, std::uint64_t id,
+                           const ServeReply& reply);
 
 /// Reads requests from `in` until EOF, submitting to `loop` (which must be
 /// Start()ed by the caller or by an earlier flush — RunStdinProto starts it

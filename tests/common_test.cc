@@ -614,6 +614,69 @@ TEST(FutureTest, MoveAssignAbandonRacesBlockedGet) {
   }
 }
 
+TEST(FutureTest, OnReadyFiresOnceOnSetAndDoesNotConsumeValue) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  std::atomic<int> fired{0};
+  future.OnReady([&fired] { fired.fetch_add(1); });
+  EXPECT_EQ(fired.load(), 0);  // not before fulfillment
+  promise.Set(21);
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_TRUE(future.Ready());  // the hook observed, it did not consume
+  EXPECT_EQ(future.Get(), 21);
+}
+
+TEST(FutureTest, OnReadyAfterResolutionFiresInline) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  promise.Set(5);
+  bool fired = false;
+  future.OnReady([&fired] { fired = true; });
+  EXPECT_TRUE(fired);  // ran inline, before OnReady returned
+  EXPECT_EQ(future.Get(), 5);
+}
+
+TEST(FutureTest, OnReadyFiresOnAbandonment) {
+  // The epoll server parks futures behind an eventfd hook; a consumer that
+  // dies without answering must still wake the loop, which then surfaces
+  // the abandonment through Get().
+  std::optional<Promise<int>> promise;
+  promise.emplace();
+  Future<int> future = promise->GetFuture();
+  bool fired = false;
+  future.OnReady([&fired] { fired = true; });
+  promise.reset();
+  EXPECT_TRUE(fired);
+  EXPECT_THROW(future.Get(), CheckError);
+}
+
+TEST(FutureTest, OnReadyReregistrationReplacesUnfiredHook) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  future.OnReady([&first] { first.fetch_add(1); });
+  future.OnReady([&second] { second.fetch_add(1); });  // replaces, not adds
+  promise.Set(1);
+  EXPECT_EQ(first.load(), 0);
+  EXPECT_EQ(second.load(), 1);
+}
+
+TEST(FutureTest, OnReadyRacesSetFromAnotherThread) {
+  // Whichever side wins the race, the hook must fire exactly once — either
+  // inline (Set got there first) or on the setting thread.
+  for (int iter = 0; iter < 300; ++iter) {
+    Promise<int> promise;
+    Future<int> future = promise.GetFuture();
+    std::atomic<int> fired{0};
+    std::thread setter([&promise, iter] { promise.Set(iter); });
+    future.OnReady([&fired] { fired.fetch_add(1); });
+    setter.join();
+    EXPECT_EQ(fired.load(), 1) << "iter " << iter;
+    EXPECT_EQ(future.Get(), iter);
+  }
+}
+
 TEST(FutureTest, MoveAssignmentAbandonsOldState) {
   // Move-assigning over an engaged, unfulfilled promise must abandon the
   // old state (hard Get() failure), not silently drop it and hang a waiter.

@@ -1,0 +1,231 @@
+// LatencyHistogram unit suite, anchored on its determinism contract:
+//  * ValueAtQuantile(q) equals, exactly, the bucket lower bound of the
+//    order statistic a sorted vector of the recorded values would pick —
+//    verified against that oracle over several value distributions.
+//  * Merge is element-wise addition, so it is commutative and associative
+//    and the final state is a pure function of the recorded multiset —
+//    verified by comparing full histogram state across merge shapes and
+//    across real recording thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace tsd {
+namespace {
+
+/// What ValueAtQuantile(q) promises: the value of element ceil(q*n)
+/// (1-based, clamped into [1, n]) of the sorted recorded values, rounded
+/// down to its bucket lower bound.
+std::uint64_t OracleQuantile(const std::vector<std::uint64_t>& sorted,
+                             double q) {
+  const auto n = static_cast<std::uint64_t>(sorted.size());
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  const std::uint64_t value = sorted[rank - 1];
+  return LatencyHistogram::BucketLowerBound(
+      LatencyHistogram::BucketIndex(value));
+}
+
+/// Full observable state, for exact equality across merge/thread shapes.
+struct Snapshot {
+  std::uint64_t count, sum, min, max;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  bool operator==(const Snapshot&) const = default;
+};
+
+Snapshot Snap(const LatencyHistogram& h) {
+  Snapshot s{h.count(), h.sum(), h.min(), h.max(), {}};
+  h.ForEachBucket(
+      [&](std::uint64_t lower, std::uint64_t n) { s.buckets.push_back({lower, n}); });
+  return s;
+}
+
+/// A mixed-magnitude value set: exact small buckets, mid-range, and values
+/// spanning many octaves, plus heavy duplication.
+std::vector<std::uint64_t> MixedValues(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.Uniform(4)) {
+      case 0:
+        values.push_back(rng.Uniform(32));  // exact unit buckets
+        break;
+      case 1:
+        values.push_back(rng.Uniform(100000));
+        break;
+      case 2:
+        values.push_back(rng() >> rng.Uniform(64));  // any magnitude
+        break;
+      default:
+        values.push_back(42);  // duplicates pile into one bucket
+        break;
+    }
+  }
+  return values;
+}
+
+TEST(HistogramTest, BucketIndexIsMonotoneAndConsistentWithLowerBound) {
+  std::vector<std::uint64_t> probes;
+  for (std::uint64_t v = 0; v < 4096; ++v) probes.push_back(v);
+  for (int e = 5; e < 64; ++e) {
+    const std::uint64_t p = std::uint64_t{1} << e;
+    probes.push_back(p - 1);
+    probes.push_back(p);
+    probes.push_back(p + 1);
+  }
+  probes.push_back(UINT64_MAX);
+  std::sort(probes.begin(), probes.end());
+
+  std::size_t last_index = 0;
+  for (const std::uint64_t v : probes) {
+    const std::size_t index = LatencyHistogram::BucketIndex(v);
+    EXPECT_GE(index, last_index) << "index not monotone at " << v;
+    last_index = index;
+    const std::uint64_t lower = LatencyHistogram::BucketLowerBound(index);
+    EXPECT_LE(lower, v);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lower), index)
+        << "lower bound of bucket " << index << " maps elsewhere";
+    if (v < UINT64_MAX) {
+      // The next bucket starts above v: buckets are contiguous.
+      EXPECT_GT(LatencyHistogram::BucketLowerBound(index + 1), v);
+    }
+    // Log-linear resolution: bucket width is at most lower/32 (exact below
+    // 2 * kSubBuckets), so the relative quantile error is bounded by ~3%.
+    if (index >= 2 * LatencyHistogram::kSubBuckets) {
+      EXPECT_LE(LatencyHistogram::BucketLowerBound(index + 1) - lower,
+                lower / LatencyHistogram::kSubBuckets);
+    }
+  }
+}
+
+TEST(HistogramTest, QuantileMatchesSortedVectorOracle) {
+  const std::vector<double> quantiles = {0.0,  0.001, 0.01, 0.1,  0.25,
+                                         0.5,  0.75,  0.9,  0.99, 0.999,
+                                         0.9999, 1.0};
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{7},
+                                std::size_t{100}, std::size_t{5000}}) {
+      std::vector<std::uint64_t> values = MixedValues(seed * 1000 + n, n);
+      LatencyHistogram h;
+      for (const std::uint64_t v : values) h.Record(v);
+      std::sort(values.begin(), values.end());
+      for (const double q : quantiles) {
+        EXPECT_EQ(h.ValueAtQuantile(q), OracleQuantile(values, q))
+            << "seed=" << seed << " n=" << n << " q=" << q;
+      }
+      EXPECT_EQ(h.min(), values.front());
+      EXPECT_EQ(h.max(), values.back());
+      EXPECT_EQ(h.count(), values.size());
+    }
+  }
+}
+
+TEST(HistogramTest, EmptyAndSingletonEdgeCases) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.999), 0u);
+
+  h.Record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0u);
+
+  LatencyHistogram top;
+  top.Record(UINT64_MAX);
+  EXPECT_EQ(top.max(), UINT64_MAX);
+  EXPECT_EQ(top.ValueAtQuantile(1.0),
+            LatencyHistogram::BucketLowerBound(
+                LatencyHistogram::BucketIndex(UINT64_MAX)));
+
+  LatencyHistogram many;
+  many.RecordMany(77, 1000);
+  EXPECT_EQ(many.count(), 1000u);
+  EXPECT_EQ(many.sum(), 77u * 1000u);
+  // 77 sits above the exact range (2 * kSubBuckets), so every quantile of
+  // the constant distribution is 77's bucket lower bound.
+  const std::uint64_t bucket77 = LatencyHistogram::BucketLowerBound(
+      LatencyHistogram::BucketIndex(77));
+  EXPECT_EQ(many.ValueAtQuantile(0.001), bucket77);
+  EXPECT_EQ(many.ValueAtQuantile(1.0), bucket77);
+  // min/max are tracked exactly even when the bucket is coarser.
+  EXPECT_EQ(many.min(), 77u);
+  EXPECT_EQ(many.max(), 77u);
+}
+
+TEST(HistogramTest, MergeIsCommutativeAndAssociative) {
+  const std::vector<std::uint64_t> va = MixedValues(10, 700);
+  const std::vector<std::uint64_t> vb = MixedValues(11, 40);
+  const std::vector<std::uint64_t> vc = MixedValues(12, 2500);
+  LatencyHistogram a, b, c;
+  for (const std::uint64_t v : va) a.Record(v);
+  for (const std::uint64_t v : vb) b.Record(v);
+  for (const std::uint64_t v : vc) c.Record(v);
+
+  LatencyHistogram ab_c = a;   // (a + b) + c
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+  LatencyHistogram bc = b;     // a + (b + c)
+  bc.Merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.Merge(bc);
+  LatencyHistogram cba = c;    // reversed order
+  cba.Merge(b);
+  cba.Merge(a);
+
+  EXPECT_EQ(Snap(ab_c), Snap(a_bc));
+  EXPECT_EQ(Snap(ab_c), Snap(cba));
+
+  // And the merged state equals recording the union directly.
+  LatencyHistogram direct;
+  for (const auto* vals : {&va, &vb, &vc}) {
+    for (const std::uint64_t v : *vals) direct.Record(v);
+  }
+  EXPECT_EQ(Snap(direct), Snap(ab_c));
+
+  // Merging an empty histogram is the identity.
+  LatencyHistogram with_empty = ab_c;
+  with_empty.Merge(LatencyHistogram());
+  EXPECT_EQ(Snap(with_empty), Snap(ab_c));
+}
+
+TEST(HistogramTest, DeterministicAtAnyThreadCount) {
+  const std::vector<std::uint64_t> values = MixedValues(99, 6000);
+  LatencyHistogram serial;
+  for (const std::uint64_t v : values) serial.Record(v);
+  const Snapshot expected = Snap(serial);
+
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<LatencyHistogram> shards(threads);
+    std::vector<std::thread> workers;
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        // Round-robin partition: each thread records a disjoint slice.
+        for (std::size_t i = t; i < values.size(); i += threads) {
+          shards[t].Record(values[i]);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    LatencyHistogram merged;
+    for (const LatencyHistogram& shard : shards) merged.Merge(shard);
+    EXPECT_EQ(Snap(merged), expected) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace tsd

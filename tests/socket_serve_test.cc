@@ -1,0 +1,367 @@
+// End-to-end suite for the epoll socket transport:
+//
+//  * Differential transcripts — the SAME text script through the stdin
+//    driver and through a live socket connection must produce byte-identical
+//    transcripts across --shards=1/2/4 x pipeline threads 1/8, rejections
+//    and parse errors included. The shared ParseProtoLine /
+//    AppendReplyTranscript make this true by construction; this test (and
+//    the CI smoke job) verify it end to end.
+//  * Slow-reader backpressure — a client that never reads gets its
+//    connection's reads paused at the outbound bound, the bound holds (high
+//    water <= max_outbound_bytes + one frame), a concurrent fast tenant is
+//    unaffected, and the slow reader still receives every reply in order.
+//  * Shutdown — remote (kShutdownFrame acks then drains) and local
+//    (SocketServer::Shutdown delivers every owed reply before EOF), plus
+//    racing connects against a shutting-down server (runs under TSan).
+//  * The stats endpoint renders the transport/latency/tenant tables and
+//    composes extra_stats.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "core/gct_index.h"
+#include "graph/generators.h"
+#include "server/sharded_serve.h"
+#include "server/socket_proto.h"
+#include "server/socket_serve.h"
+#include "server/stdin_proto.h"
+
+namespace tsd {
+namespace {
+
+constexpr std::uint32_t kRecvTimeoutMs = 60000;
+
+/// The differential script: ok queries across tenants, an r-limit
+/// rejection, a bad-query rejection, parse errors, comments, and explicit
+/// flushes. Every transport must turn this into the same transcript bytes.
+constexpr const char* kScript =
+    "# differential workload\n"
+    "q 1 3 5\n"
+    "q 2 2 4\n"
+    "q 1 4 20\n"     // r > max_r=8 -> rejected:r-limit
+    "bogus line\n"   // -> "! parse-error line 5"
+    "flush\n"
+    "q 3 5 8\n"
+    "q 2 2 1\n"
+    "q 7 1 3\n"      // k < 2 -> rejected:bad-query
+    "\n"
+    "q 4 3 6\n";
+
+ShardedServeOptions LoopOptions(std::uint32_t shards, std::uint32_t threads) {
+  ShardedServeOptions options;
+  options.num_shards = shards;
+  options.shard.max_r = 8;
+  options.shard.query_options.num_threads = threads;
+  return options;
+}
+
+TEST(SocketServeTest, TranscriptsMatchStdinAcrossShardsAndThreads) {
+  const Graph g = HolmeKim(300, 4, 0.4, 41);
+  const GctIndex gct = GctIndex::Build(g);
+
+  // Baseline: stdin transport, 1 shard, 1 thread.
+  std::string baseline;
+  {
+    ShardedServeLoop loop(gct, LoopOptions(1, 1));
+    std::istringstream in(kScript);
+    std::ostringstream out;
+    const StdinProtoStats stats = RunStdinProto(in, out, loop);
+    EXPECT_EQ(stats.requests, 7u);
+    EXPECT_EQ(stats.parse_errors, 1u);
+    baseline = out.str();
+    loop.Shutdown();
+  }
+  ASSERT_NE(baseline.find("rejected:r-limit"), std::string::npos);
+  ASSERT_NE(baseline.find("rejected:bad-query"), std::string::npos);
+  ASSERT_NE(baseline.find("! parse-error line 5"), std::string::npos);
+
+  for (const std::uint32_t shards : {1u, 2u, 4u}) {
+    for (const std::uint32_t threads : {1u, 8u}) {
+      const std::string label =
+          "shards=" + std::to_string(shards) + " threads=" + std::to_string(threads);
+      {
+        ShardedServeLoop loop(gct, LoopOptions(shards, threads));
+        std::istringstream in(kScript);
+        std::ostringstream out;
+        RunStdinProto(in, out, loop);
+        EXPECT_EQ(out.str(), baseline) << "stdin " << label;
+        loop.Shutdown();
+      }
+      {
+        ShardedServeLoop loop(gct, LoopOptions(shards, threads));
+        SocketServer server(loop, {});
+        server.Start();
+        SocketClient client =
+            SocketClient::Connect("127.0.0.1", server.port(), kRecvTimeoutMs);
+        std::istringstream in(kScript);
+        std::ostringstream out;
+        const SocketClientScriptStats stats =
+            RunSocketClientScript(in, out, client);
+        EXPECT_EQ(stats.requests, 7u);
+        EXPECT_EQ(stats.parse_errors, 1u);
+        EXPECT_EQ(stats.server_errors, 0u);
+        EXPECT_EQ(out.str(), baseline) << "socket " << label;
+        client.Close();
+        server.Shutdown();
+        loop.Shutdown();
+      }
+    }
+  }
+}
+
+TEST(SocketServeTest, SlowReaderIsBoundedAndDoesNotStallFastTenant) {
+  const Graph g = HolmeKim(300, 4, 0.4, 42);
+  const GctIndex gct = GctIndex::Build(g);
+  ShardedServeLoop loop(gct, {});
+  SocketServerOptions options;
+  // Smaller than a single k=3/r=8 reply frame (~150 bytes), so the first
+  // harvested reply crosses the bound and pauses the connection's reads
+  // deterministically — no dependence on how many futures happen to
+  // resolve within one harvest pass.
+  options.max_outbound_bytes = 128;
+  SocketServer server(loop, options);
+  server.Start();
+
+  // The slow reader: a tiny receive window and no reads while the server
+  // answers 300 queries, repeatedly filling the outbound bound.
+  constexpr int kSlowQueries = 300;
+  SocketClient slow = SocketClient::Connect("127.0.0.1", server.port(),
+                                            kRecvTimeoutMs,
+                                            /*recv_buffer_bytes=*/2048);
+  for (int i = 0; i < kSlowQueries; ++i) {
+    slow.SendQuery(/*tenant=*/1, /*k=*/3, /*r=*/8);
+  }
+
+  // The server must hit the backpressure bound while the slow reader
+  // stalls; poll because delivery into kernel buffers takes a moment.
+  for (int spin = 0; spin < 2000 && server.stats().backpressure_pauses == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(server.stats().backpressure_pauses, 0u)
+      << "slow reader never tripped the outbound bound";
+
+  // Meanwhile a fast tenant must be completely unaffected: only the slow
+  // connection's reads are paused, never a shard consumer.
+  SocketClient fast =
+      SocketClient::Connect("127.0.0.1", server.port(), kRecvTimeoutMs);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    fast.SendQuery(/*tenant=*/2, /*k=*/3, /*r=*/5);
+    ServerFrame frame;
+    ASSERT_TRUE(fast.ReadServerFrame(&frame));
+    EXPECT_EQ(frame.id, i + 1);
+    EXPECT_EQ(frame.status, ServeStatus::kOk);
+  }
+  fast.Close();
+
+  // The slow reader finally drains: every reply arrives, in order.
+  for (std::uint64_t i = 0; i < kSlowQueries; ++i) {
+    ServerFrame frame;
+    ASSERT_TRUE(slow.ReadServerFrame(&frame));
+    EXPECT_EQ(frame.id, i + 1);
+    EXPECT_EQ(frame.status, ServeStatus::kOk);
+  }
+  slow.Close();
+
+  // The bound held: the outbound queue never exceeded the limit by more
+  // than the one frame that crossed it.
+  // The bound held: never exceeded by more than the one frame whose append
+  // crossed it.
+  const SocketServerStats stats = server.stats();
+  EXPECT_LE(stats.outbound_high_water, options.max_outbound_bytes + 512)
+      << "outbound queue exceeded the backpressure bound";
+  EXPECT_GT(stats.outbound_high_water, options.max_outbound_bytes)
+      << "the test never actually filled the outbound queue";
+
+  server.Shutdown();
+  loop.Shutdown();
+}
+
+TEST(SocketServeTest, RemoteShutdownAcksThenDrains) {
+  const Graph g = HolmeKim(200, 4, 0.4, 43);
+  const GctIndex gct = GctIndex::Build(g);
+  ShardedServeLoop loop(gct, {});
+  SocketServer server(loop, {});
+  server.Start();
+
+  SocketClient client =
+      SocketClient::Connect("127.0.0.1", server.port(), kRecvTimeoutMs);
+  client.SendQuery(1, 3, 5);
+  client.SendQuery(2, 2, 4);
+  client.SendShutdown();
+
+  ServerFrame frame;
+  ASSERT_TRUE(client.ReadServerFrame(&frame));
+  EXPECT_EQ(frame.id, 1u);
+  EXPECT_EQ(frame.status, ServeStatus::kOk);
+  ASSERT_TRUE(client.ReadServerFrame(&frame));
+  EXPECT_EQ(frame.id, 2u);
+  ASSERT_TRUE(client.ReadServerFrame(&frame));  // the shutdown ack
+  EXPECT_EQ(frame.type, kReplyFrame);
+  EXPECT_EQ(frame.id, 3u);
+  EXPECT_EQ(frame.status, ServeStatus::kOk);
+  std::string payload;
+  EXPECT_FALSE(client.ReadFrame(&payload));  // server drained and closed
+  client.Close();  // let the server's lingering close finish promptly
+
+  server.WaitUntilShutdown();  // returns without an explicit Shutdown()
+  server.Shutdown();
+  loop.Shutdown();
+}
+
+TEST(SocketServeTest, RemoteShutdownCanBeDisabled) {
+  const Graph g = HolmeKim(150, 4, 0.4, 44);
+  const GctIndex gct = GctIndex::Build(g);
+  ShardedServeLoop loop(gct, {});
+  SocketServerOptions options;
+  options.enable_remote_shutdown = false;
+  SocketServer server(loop, options);
+  server.Start();
+
+  SocketClient client =
+      SocketClient::Connect("127.0.0.1", server.port(), kRecvTimeoutMs);
+  client.SendShutdown();
+  ServerFrame frame;
+  ASSERT_TRUE(client.ReadServerFrame(&frame));
+  EXPECT_EQ(frame.type, kErrorFrame);
+  // The server is still alive and serving this same connection.
+  client.SendQuery(1, 3, 5);
+  ASSERT_TRUE(client.ReadServerFrame(&frame));
+  EXPECT_EQ(frame.id, 2u);
+  EXPECT_EQ(frame.status, ServeStatus::kOk);
+  client.Close();
+
+  server.Shutdown();
+  loop.Shutdown();
+}
+
+TEST(SocketServeTest, LocalShutdownDeliversEveryOwedReply) {
+  const Graph g = HolmeKim(300, 4, 0.4, 45);
+  const GctIndex gct = GctIndex::Build(g);
+  ShardedServeLoop loop(gct, {});
+  SocketServer server(loop, {});
+  server.Start();
+
+  constexpr std::uint64_t kQueries = 50;
+  SocketClient client =
+      SocketClient::Connect("127.0.0.1", server.port(), kRecvTimeoutMs);
+  for (std::uint64_t i = 0; i < kQueries; ++i) {
+    client.SendQuery(i % 5, 3, 5);
+  }
+
+  // A reply is "owed" once the server has read and submitted the query;
+  // drain stops reading, so wait until all 50 are owed before invoking it.
+  for (int spin = 0; spin < 2000 && server.stats().queries < kQueries;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.stats().queries, kQueries);
+
+  // Read concurrently with the drain: every reply owed must arrive, in
+  // order, and only then EOF.
+  std::uint64_t replies = 0;
+  bool clean_eof = false;
+  std::thread reader([&] {
+    ServerFrame frame;
+    while (replies < kQueries) {
+      if (!client.ReadServerFrame(&frame)) return;
+      if (frame.id != replies + 1 || frame.status != ServeStatus::kOk) return;
+      ++replies;
+    }
+    std::string payload;
+    clean_eof = !client.ReadFrame(&payload);
+    client.Close();  // let the server's lingering close finish promptly
+  });
+  server.Shutdown();  // graceful drain: flush all 50, then close
+  reader.join();
+  EXPECT_EQ(replies, kQueries);
+  EXPECT_TRUE(clean_eof);
+  loop.Shutdown();
+}
+
+TEST(SocketServeTest, RacingConnectsSurviveShutdown) {
+  const Graph g = HolmeKim(200, 4, 0.4, 46);
+  const GctIndex gct = GctIndex::Build(g);
+  ShardedServeLoop loop(gct, {});
+  SocketServer server(loop, {});
+  server.Start();
+  const std::uint16_t port = server.port();
+
+  // Clients hammer connect/query/read while the server shuts down under
+  // them. Connection refusals, mid-frame EOFs, and clean EOFs are all
+  // legitimate; crashes, hangs, and TSan races are not.
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([port, t] {
+      for (int iter = 0; iter < 50; ++iter) {
+        try {
+          SocketClient client =
+              SocketClient::Connect("127.0.0.1", port, kRecvTimeoutMs);
+          client.SendQuery(static_cast<std::uint64_t>(t), 3, 5);
+          ServerFrame frame;
+          if (!client.ReadServerFrame(&frame)) return;
+        } catch (const CheckError&) {
+          return;  // the server went away under us — expected
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.Shutdown();
+  for (std::thread& c : clients) c.join();
+  loop.Shutdown();
+}
+
+TEST(SocketServeTest, StatsEndpointRendersTablesAndExtraStats) {
+  const Graph g = HolmeKim(200, 4, 0.4, 47);
+  const GctIndex gct = GctIndex::Build(g);
+  ShardedServeLoop loop(gct, {});
+  SocketServerOptions options;
+  options.extra_stats = [] { return std::string("EXTRA-STATS-SENTINEL\n"); };
+  SocketServer server(loop, options);
+  server.Start();
+
+  SocketClient client =
+      SocketClient::Connect("127.0.0.1", server.port(), kRecvTimeoutMs);
+  for (std::uint64_t tenant = 0; tenant < 3; ++tenant) {
+    client.SendQuery(tenant, 3, 5);
+  }
+  client.SendStats();
+
+  ServerFrame frame;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(client.ReadServerFrame(&frame));
+    EXPECT_EQ(frame.id, id);
+    EXPECT_EQ(frame.status, ServeStatus::kOk);
+  }
+  ASSERT_TRUE(client.ReadServerFrame(&frame));
+  EXPECT_EQ(frame.type, kStatsReplyFrame);
+  EXPECT_EQ(frame.id, 4u);
+  EXPECT_NE(frame.text.find("socket transport"), std::string::npos);
+  EXPECT_NE(frame.text.find("query latency"), std::string::npos);
+  EXPECT_NE(frame.text.find("per-tenant"), std::string::npos);
+  EXPECT_NE(frame.text.find("EXTRA-STATS-SENTINEL"), std::string::npos);
+  client.Close();
+
+  const SocketServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, 3u);
+  EXPECT_EQ(stats.stats_requests, 1u);
+  EXPECT_EQ(stats.latency_ns.count(), 3u);
+  ASSERT_EQ(stats.tenant_queries.size(), 3u);
+  for (std::uint64_t tenant = 0; tenant < 3; ++tenant) {
+    EXPECT_EQ(stats.tenant_queries[tenant].first, tenant);
+    EXPECT_EQ(stats.tenant_queries[tenant].second, 1u);
+  }
+
+  server.Shutdown();
+  loop.Shutdown();
+}
+
+}  // namespace
+}  // namespace tsd

@@ -9,11 +9,15 @@
 //   tsdtool query  --index-file=<index> [--k=3] [--r=10] [--index=gct|tsd]
 //   tsdtool gen    --out=<file> [--model=hk|ba|er|rmat] [--n=10000] ...
 //   tsdtool serve  <edge-list> --stdin-proto [--method=gct]  query server
+//   tsdtool serve  <edge-list> --listen=PORT [--method=gct]  socket server
+//   tsdtool client --connect=HOST:PORT [--stats] [--shutdown] socket client
 //
 // Edge lists are SNAP-style text ("u v" per line, '#' comments).
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +35,8 @@
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
 #include "server/sharded_serve.h"
+#include "server/socket_proto.h"
+#include "server/socket_serve.h"
 #include "server/stdin_proto.h"
 #include "truss/parallel_truss.h"
 #include "truss/truss_decomposition.h"
@@ -81,6 +87,27 @@ int Usage() {
       "                                            tenants hashed across\n"
       "                                            them (deterministic\n"
       "                                            tenant->shard pinning)\n"
+      "  serve <edge-list> --listen=PORT [--port-file=<file>] [--bind=ADDR]\n"
+      "        [--drain-ms=5000] [--max-outbound=1048576] [...serve flags]\n"
+      "                                            the same server over an\n"
+      "                                            epoll socket transport\n"
+      "                                            (length-prefixed binary\n"
+      "                                            frames); PORT 0 picks a\n"
+      "                                            free port, printed to\n"
+      "                                            stderr and --port-file.\n"
+      "                                            Runs until a client sends\n"
+      "                                            shutdown (tsdtool client\n"
+      "                                            --shutdown)\n"
+      "  client --connect=HOST:PORT [--timeout-ms=30000] [--stats|--shutdown]\n"
+      "                                            drives the socket server\n"
+      "                                            with the same script the\n"
+      "                                            stdin protocol reads ('q\n"
+      "                                            <tenant> <k> <r>'/'flush',\n"
+      "                                            plus 'stats'/'shutdown');\n"
+      "                                            transcripts on stdout are\n"
+      "                                            byte-identical to\n"
+      "                                            --stdin-proto for the\n"
+      "                                            same script\n"
       "methods: gct tsd online bound comp core\n"
       "--threads=N runs the query pipeline on N workers — including the\n"
       "preprocessing stages: the global truss decomposition behind stats and\n"
@@ -363,37 +390,31 @@ int RunQuery(const Flags& flags) {
   return 0;
 }
 
-int RunServe(const Graph& g, const Flags& flags) {
-  if (!flags.GetBool("stdin-proto", false)) {
-    std::cerr << "serve currently requires --stdin-proto (line protocol on "
-                 "stdin)\n";
-    return Usage();
+/// Per-shard ServeStats as a table — the extra_stats section of the socket
+/// server's stats endpoint, and part of the stderr diagnostics.
+std::string RenderShardTable(const ShardedServeLoop& loop) {
+  std::ostringstream out;
+  out << "serve shards\n";
+  TablePrinter table({"shard", "accepted", "served", "failed", "rej-r",
+                      "rej-depth", "rej-bad", "batches"});
+  for (std::uint32_t s = 0; s < loop.num_shards(); ++s) {
+    const ServeStats shard = loop.shard_stats(s);
+    table.Row(std::uint64_t{s}, shard.accepted, shard.served, shard.failed,
+              shard.rejected_r_limit, shard.rejected_queue_depth,
+              shard.rejected_bad_query, shard.batches);
   }
-  SearcherHolder holder = MakeSearcher(g, flags.GetString("method", "gct"));
-  if (holder.active == nullptr) return Usage();
+  table.Print(out);
+  return out.str();
+}
 
-  ShardedServeOptions options;
-  options.num_shards = static_cast<std::uint32_t>(
-      std::max<std::int64_t>(1, flags.GetInt("shards", 1)));
-  options.shard.query_options = QueryOptionsFromFlags(flags);
-  options.shard.max_r = static_cast<std::uint32_t>(
-      std::max<std::int64_t>(1, flags.GetInt("max-r", 1024)));
-  options.shard.max_queue_depth = static_cast<std::uint32_t>(
-      std::max<std::int64_t>(1, flags.GetInt("max-depth", 1024)));
-  options.shard.max_batch = static_cast<std::uint32_t>(
-      std::max<std::int64_t>(1, flags.GetInt("max-batch", 64)));
-
-  ShardedServeLoop loop(*holder.active, options);
-  const StdinProtoStats driver = RunStdinProto(std::cin, std::cout, loop);
-  loop.Shutdown();
-
-  // Serving diagnostics to stderr so the stdout transcript stays
-  // byte-stable across thread counts, shard counts, and batch shapes.
+/// Serving diagnostics to stderr so the stdout transcript stays byte-stable
+/// across thread counts, shard counts, and batch shapes.
+void PrintServeDiagnostics(const ShardedServeLoop& loop,
+                           const std::string& method, std::uint64_t requests,
+                           std::uint64_t parse_errors) {
   const ServeStats stats = loop.stats();
-  std::cerr << "serve: method=" << holder.active->name()
-            << " shards=" << loop.num_shards()
-            << " requests=" << driver.requests
-            << " parse-errors=" << driver.parse_errors
+  std::cerr << "serve: method=" << method << " shards=" << loop.num_shards()
+            << " requests=" << requests << " parse-errors=" << parse_errors
             << " accepted=" << stats.accepted << " served=" << stats.served
             << " failed=" << stats.failed
             << " rejected(r-limit=" << stats.rejected_r_limit
@@ -411,6 +432,108 @@ int RunServe(const Graph& g, const Flags& flags) {
     }
     std::cerr << "\n";
   }
+}
+
+int RunServe(const Graph& g, const Flags& flags) {
+  const bool stdin_proto = flags.GetBool("stdin-proto", false);
+  const bool listen = flags.Has("listen");
+  if (!stdin_proto && !listen) {
+    std::cerr << "serve requires --stdin-proto (line protocol on stdin) or "
+                 "--listen=PORT (socket transport)\n";
+    return Usage();
+  }
+  SearcherHolder holder = MakeSearcher(g, flags.GetString("method", "gct"));
+  if (holder.active == nullptr) return Usage();
+
+  ShardedServeOptions options;
+  options.num_shards = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("shards", 1)));
+  options.shard.query_options = QueryOptionsFromFlags(flags);
+  options.shard.max_r = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("max-r", 1024)));
+  options.shard.max_queue_depth = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("max-depth", 1024)));
+  options.shard.max_batch = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, flags.GetInt("max-batch", 64)));
+
+  ShardedServeLoop loop(*holder.active, options);
+
+  if (listen) {
+    SocketServerOptions server_options;
+    server_options.bind_address = flags.GetString("bind", "127.0.0.1");
+    server_options.port = static_cast<std::uint16_t>(
+        std::max<std::int64_t>(0, flags.GetInt("listen", 0)));
+    server_options.drain_timeout_ms = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, flags.GetInt("drain-ms", 5000)));
+    server_options.max_outbound_bytes = static_cast<std::size_t>(
+        std::max<std::int64_t>(4096, flags.GetInt("max-outbound", 1 << 20)));
+    server_options.extra_stats = [&loop] { return RenderShardTable(loop); };
+
+    SocketServer server(loop, server_options);
+    server.Start();
+    std::cerr << "listening on " << server_options.bind_address << ":"
+              << server.port() << "\n";
+    if (flags.Has("port-file")) {
+      // CI and scripts start us with --listen=0 and read the real port here.
+      std::ofstream port_file(flags.GetString("port-file", ""));
+      port_file << server.port() << "\n";
+    }
+    server.WaitUntilShutdown();  // a client's shutdown frame ends the loop
+    server.Shutdown();
+    loop.Shutdown();
+
+    const SocketServerStats transport = server.stats();
+    std::cerr << server.RenderStatsTables();
+    PrintServeDiagnostics(loop, holder.active->name(), transport.queries,
+                          transport.protocol_errors);
+    return 0;
+  }
+
+  const StdinProtoStats driver = RunStdinProto(std::cin, std::cout, loop);
+  loop.Shutdown();
+  PrintServeDiagnostics(loop, holder.active->name(), driver.requests,
+                        driver.parse_errors);
+  return 0;
+}
+
+int RunClient(const Flags& flags) {
+  TSD_CHECK_MSG(flags.Has("connect"), "client requires --connect=HOST:PORT");
+  const std::string target = flags.GetString("connect", "");
+  const std::size_t colon = target.rfind(':');
+  TSD_CHECK_MSG(colon != std::string::npos && colon + 1 < target.size(),
+                "--connect wants HOST:PORT, got '" << target << "'");
+  const std::string host =
+      colon == 0 ? std::string("127.0.0.1") : target.substr(0, colon);
+  std::uint64_t port = 0;
+  for (std::size_t i = colon + 1; i < target.size(); ++i) {
+    const char c = target[i];
+    TSD_CHECK_MSG(c >= '0' && c <= '9',
+                  "bad port in --connect: '" << target << "'");
+    port = port * 10 + static_cast<std::uint64_t>(c - '0');
+    TSD_CHECK_MSG(port <= 65535, "bad port in --connect: '" << target << "'");
+  }
+  TSD_CHECK_MSG(port > 0, "bad port in --connect: '" << target << "'");
+
+  const auto timeout_ms = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, flags.GetInt("timeout-ms", 30000)));
+  SocketClient client =
+      SocketClient::Connect(host, static_cast<std::uint16_t>(port), timeout_ms);
+
+  // --stats / --shutdown are one-shot conveniences (CI's smoke job uses
+  // them); otherwise the request script comes from stdin.
+  const bool stats = flags.GetBool("stats", false);
+  const bool shutdown = flags.GetBool("shutdown", false);
+  if (stats || shutdown) {
+    std::istringstream script(std::string(stats ? "stats\n" : "") +
+                              (shutdown ? "shutdown\n" : ""));
+    RunSocketClientScript(script, std::cout, client);
+    return 0;
+  }
+  const SocketClientScriptStats driver =
+      RunSocketClientScript(std::cin, std::cout, client);
+  std::cerr << "client: requests=" << driver.requests
+            << " parse-errors=" << driver.parse_errors
+            << " server-errors=" << driver.server_errors << "\n";
   return 0;
 }
 
@@ -449,6 +572,7 @@ int Run(int argc, char** argv) {
   try {
     if (command == "query") return RunQuery(flags);
     if (command == "gen") return RunGen(flags);
+    if (command == "client") return RunClient(flags);
     if (flags.positional().size() < 2) return Usage();
     const Graph g = LoadEdgeListText(flags.positional()[1]);
     if (command == "stats") return RunStats(g, flags);
