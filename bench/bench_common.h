@@ -19,7 +19,7 @@
 #include "core/query_pipeline.h"  // QueryOptionsFromFlags: --threads/--chunks
 #include "graph/datasets.h"
 #include "graph/graph.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 #include "truss/truss_decomposition.h"
 
 namespace tsd::bench {

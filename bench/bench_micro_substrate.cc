@@ -13,7 +13,7 @@
 #include "graph/generators.h"
 #include "truss/core_decomposition.h"
 #include "truss/ego_truss.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 #include "truss/truss_decomposition.h"
 
 namespace {

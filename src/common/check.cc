@@ -4,6 +4,8 @@
 
 namespace tsd::internal {
 
+// [[noreturn]] + cold are declared in check.h; the definition only throws,
+// never returns, so the attributes are sound.
 void CheckFailed(const char* condition, const char* file, int line,
                  const std::string& message) {
   std::ostringstream out;

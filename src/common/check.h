@@ -4,11 +4,26 @@
 // misuse is observable (and unit-testable) instead of aborting the process.
 // TSD_DCHECK compiles away in NDEBUG builds and is meant for hot-loop
 // invariants that are too expensive to verify in release binaries.
+//
+// The failure path is annotated for the static analyzers: CheckFailed is
+// [[noreturn]] (a fired check never resumes the caller, so Clang's
+// -Wthread-safety does not demand that the failure branch release held
+// locks, and clang-tidy's dataflow checks treat code after a failed check
+// as unreachable) and cold (keeps the throw machinery out of the hot-path
+// icache; the branch itself is additionally marked unlikely).
 #pragma once
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TSD_ATTRIBUTE_COLD __attribute__((cold))
+#define TSD_PREDICT_FALSE(x) (__builtin_expect(!!(x), false))
+#else
+#define TSD_ATTRIBUTE_COLD
+#define TSD_PREDICT_FALSE(x) (x)
+#endif
 
 namespace tsd {
 
@@ -20,8 +35,9 @@ class CheckError : public std::logic_error {
 
 namespace internal {
 
-[[noreturn]] void CheckFailed(const char* condition, const char* file,
-                              int line, const std::string& message);
+[[noreturn]] TSD_ATTRIBUTE_COLD void CheckFailed(const char* condition,
+                                                 const char* file, int line,
+                                                 const std::string& message);
 
 // Tiny ostringstream wrapper so TSD_CHECK_MSG can take `a << b` style
 // message expressions.
@@ -43,7 +59,7 @@ class MessageStream {
 
 #define TSD_CHECK(condition)                                          \
   do {                                                                \
-    if (!(condition)) {                                               \
+    if (TSD_PREDICT_FALSE(!(condition))) {                            \
       ::tsd::internal::CheckFailed(#condition, __FILE__, __LINE__,    \
                                    std::string());                    \
     }                                                                 \
@@ -51,7 +67,7 @@ class MessageStream {
 
 #define TSD_CHECK_MSG(condition, message_expr)                        \
   do {                                                                \
-    if (!(condition)) {                                               \
+    if (TSD_PREDICT_FALSE(!(condition))) {                            \
       ::tsd::internal::CheckFailed(                                   \
           #condition, __FILE__, __LINE__,                             \
           (::tsd::internal::MessageStream() << message_expr).str());  \

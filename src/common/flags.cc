@@ -1,6 +1,7 @@
 #include "common/flags.h"
 
 #include <cstdlib>
+#include <utility>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -11,7 +12,7 @@ Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (!StartsWith(arg, "--")) {
-      positional_.push_back(arg);
+      positional_.push_back(std::move(arg));
       continue;
     }
     arg = arg.substr(2);

@@ -6,16 +6,26 @@
 // reply path move the (potentially large) TopRResult instead of copying it,
 // and gives abandonment a hard, debuggable failure mode (TSD_CHECK) instead
 // of std::future_error.
+//
+// Locking contract (checked by -Wthread-safety under Clang): all shared
+// state lives in internal::FutureState behind its Mutex; value/abandoned/
+// on_ready are TSD_GUARDED_BY it. The OnReady hook is a user callback and
+// is ALWAYS invoked outside the lock — on the fulfilling thread after
+// Set/Abandon drop it, or inline on the registering thread when the future
+// is already resolved — so a hook may itself take locks (the socket
+// server's eventfd poke) without inverting lock order against the state
+// mutex. Holding the state lock across the hook would deadlock any hook
+// that touches the future and is exactly the class of bug the annotations
+// exist to keep out.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace tsd {
 
@@ -24,17 +34,83 @@ class Future;
 
 namespace internal {
 
+/// The channel shared by a Promise/Future pair. All methods are
+/// thread-safe entry points that take the state mutex themselves; the
+/// one-shot hook is fired outside it (see the header comment).
 template <typename T>
-struct FutureState {
-  std::mutex mutex;
-  std::condition_variable ready_cv;
-  std::optional<T> value;
-  bool abandoned = false;  // promise died without Set()
+class FutureState {
+ public:
+  /// Fulfills the channel (at most once) and fires a registered hook.
+  void Set(T value) TSD_EXCLUDES(mutex_) {
+    std::function<void()> on_ready;
+    {
+      MutexLock lock(mutex_);
+      TSD_CHECK_MSG(!value_.has_value(), "promise fulfilled twice");
+      value_.emplace(std::move(value));
+      on_ready = std::move(on_ready_);
+      on_ready_ = nullptr;
+    }
+    ready_cv_.NotifyAll();
+    if (on_ready) on_ready();  // outside the lock: hooks may take locks
+  }
+
+  /// Marks the promise dead without a value (no-op once fulfilled); wakes
+  /// waiters into a hard check failure and fires a registered hook.
+  void Abandon() noexcept TSD_EXCLUDES(mutex_) {
+    std::function<void()> on_ready;
+    {
+      MutexLock lock(mutex_);
+      if (value_.has_value()) return;
+      abandoned_ = true;
+      on_ready = std::move(on_ready_);
+      on_ready_ = nullptr;
+    }
+    ready_cv_.NotifyAll();
+    if (on_ready) on_ready();  // abandonment must wake observers too
+  }
+
+  /// True once the value is available (non-blocking, non-consuming).
+  bool Ready() TSD_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return value_.has_value();
+  }
+
+  /// Registers (or replaces) the one-shot hook; fires it inline when the
+  /// channel is already resolved.
+  void SetOnReady(std::function<void()> hook) TSD_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      if (!value_.has_value() && !abandoned_) {
+        on_ready_ = std::move(hook);
+        return;
+      }
+    }
+    hook();  // already resolved: fire inline, outside the lock
+  }
+
+  /// Blocks until fulfilled, then moves the value out (one call only).
+  T Take() TSD_EXCLUDES(mutex_) {
+    std::optional<T> out;
+    {
+      UniqueMutexLock lock(mutex_);
+      while (!value_.has_value() && !abandoned_) ready_cv_.Wait(lock);
+      TSD_CHECK_MSG(value_.has_value(), "promise abandoned without a value");
+      out = std::move(value_);
+      value_.reset();
+    }
+    return std::move(*out);
+  }
+
+ private:
+  Mutex mutex_;
+  CondVar ready_cv_;
+  std::optional<T> value_ TSD_GUARDED_BY(mutex_);
+  bool abandoned_ TSD_GUARDED_BY(mutex_) = false;  // promise died w/o Set()
   /// One-shot completion hook (Future::OnReady): fired — outside the lock,
   /// on the fulfilling thread — when the value is set or the promise
   /// abandoned. Lets poll-free event loops (the epoll socket server) learn
   /// about readiness without blocking a thread per future.
-  std::function<void()> on_ready;
+  std::function<void()> on_ready_ TSD_GUARDED_BY(mutex_);
 };
 
 }  // namespace internal
@@ -55,46 +131,25 @@ class Promise {
   /// the old state fails the abandonment check instead of hanging silently.
   Promise& operator=(Promise&& other) noexcept {
     if (this != &other) {
-      Abandon();
+      if (state_ != nullptr) state_->Abandon();
       state_ = std::move(other.state_);
     }
     return *this;
   }
 
-  ~Promise() { Abandon(); }
+  ~Promise() {
+    if (state_ != nullptr) state_->Abandon();
+  }
 
   /// The (single) future observing this promise.
   Future<T> GetFuture() { return Future<T>(state_); }
 
   void Set(T value) {
     TSD_CHECK(state_ != nullptr);
-    std::function<void()> on_ready;
-    {
-      std::lock_guard<std::mutex> lock(state_->mutex);
-      TSD_CHECK_MSG(!state_->value.has_value(), "promise fulfilled twice");
-      state_->value.emplace(std::move(value));
-      on_ready = std::move(state_->on_ready);
-      state_->on_ready = nullptr;
-    }
-    state_->ready_cv.notify_all();
-    if (on_ready) on_ready();  // outside the lock: hooks may take locks
+    state_->Set(std::move(value));
   }
 
  private:
-  void Abandon() noexcept {
-    if (state_ == nullptr) return;
-    std::function<void()> on_ready;
-    {
-      std::lock_guard<std::mutex> lock(state_->mutex);
-      if (state_->value.has_value()) return;
-      state_->abandoned = true;
-      on_ready = std::move(state_->on_ready);
-      state_->on_ready = nullptr;
-    }
-    state_->ready_cv.notify_all();
-    if (on_ready) on_ready();  // abandonment must wake observers too
-  }
-
   std::shared_ptr<internal::FutureState<T>> state_;
 };
 
@@ -113,8 +168,7 @@ class Future {
   /// True once the value is available (non-blocking).
   bool Ready() const {
     TSD_CHECK(valid());
-    std::lock_guard<std::mutex> lock(state_->mutex);
-    return state_->value.has_value();
+    return state_->Ready();
   }
 
   /// Registers a one-shot completion hook, invoked exactly once when the
@@ -126,36 +180,17 @@ class Future {
   /// NOT consume the value — pair it with Ready()/Get().
   void OnReady(std::function<void()> hook) {
     TSD_CHECK(valid());
-    {
-      std::lock_guard<std::mutex> lock(state_->mutex);
-      if (!state_->value.has_value() && !state_->abandoned) {
-        state_->on_ready = std::move(hook);
-        return;
-      }
-    }
-    hook();  // already resolved: fire inline, outside the lock
+    state_->SetOnReady(std::move(hook));
   }
 
   /// Blocks until the value is set, then moves it out. One call only.
   T Get() {
     TSD_CHECK(valid());
-    // Consume the reference first so the state (and its mutex) stays alive
-    // until AFTER the lock below is released — destruction order matters:
-    // `state` outlives the scoped lock, and only then may drop the last
-    // reference.
+    // Consume the reference first: the local shared_ptr keeps the state
+    // (and its mutex) alive through Take() even if the promise side drops
+    // its reference while we block.
     std::shared_ptr<internal::FutureState<T>> state = std::move(state_);
-    std::optional<T> out;
-    {
-      std::unique_lock<std::mutex> lock(state->mutex);
-      state->ready_cv.wait(lock, [&state] {
-        return state->value.has_value() || state->abandoned;
-      });
-      TSD_CHECK_MSG(state->value.has_value(),
-                    "promise abandoned without a value");
-      out = std::move(state->value);
-      state->value.reset();
-    }
-    return std::move(*out);
+    return state->Take();
   }
 
  private:

@@ -19,15 +19,23 @@
 // Per-producer FIFO order is preserved; orders from different producers
 // interleave arbitrarily (which is fine: the serve loop's replies are a pure
 // function of each request, not of arrival order).
+//
+// Thread-safety annotations: the single-consumer contract is a capability
+// (`consumer_role_`), not a lock — TryPop/Empty/ConsumerWait carry
+// TSD_REQUIRES on it and the consumer thread claims it once with
+// AssertConsumer() at its entry point, so a producer-side call to a
+// consumer-only method is a Clang build error, not a latent race. The
+// Dekker-style parked-flag fast path in Push/NotifyOne is pure atomics and
+// needs no annotations; the wake mutex guards no data (its empty critical
+// section is a lost-wakeup fence), only the condition variable sleeps on it.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace tsd {
 
@@ -40,7 +48,11 @@ class MpscQueue {
     tail_ = stub;
   }
 
+  /// Destruction requires external quiescence: no producer may be pushing
+  /// and the consumer must be done (the destructor walks the consumer-side
+  /// chain, hence the role claim).
   ~MpscQueue() {
+    consumer_role_.Assert();  // single-threaded teardown acts as consumer
     Node* node = tail_;
     while (node != nullptr) {
       Node* next = node->next.load(std::memory_order_relaxed);
@@ -51,6 +63,12 @@ class MpscQueue {
 
   MpscQueue(const MpscQueue&) = delete;
   MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Claims the consumer role for the current scope: a statically-checked
+  /// declaration that this code runs on the (single) consumer thread. Call
+  /// it at the consumer thread's entry point — and inside wake predicates,
+  /// which the analysis treats as separate functions.
+  void AssertConsumer() const TSD_ASSERT_CAPABILITY(consumer_role_) {}
 
   /// Enqueues a value. Safe to call from any number of threads.
   void Push(T value) {
@@ -65,7 +83,7 @@ class MpscQueue {
 
   /// Dequeues into *out. Single consumer only. Returns false when the queue
   /// is empty (or a push is mid-flight; the producer's notify covers that).
-  bool TryPop(T* out) {
+  bool TryPop(T* out) TSD_REQUIRES(consumer_role_) {
     Node* tail = tail_;
     Node* next = tail->next.load(std::memory_order_acquire);
     if (next == nullptr) return false;
@@ -77,13 +95,15 @@ class MpscQueue {
     return true;
   }
 
-  /// Parks the consumer until `wake()` returns true. `wake` is re-evaluated
-  /// under the wake mutex after every notification, and once before sleeping
-  /// (so a push that landed just before the call returns immediately).
-  /// Typical use: ConsumerWait([&] { return !Empty() || shutting_down; }).
+  /// Parks the consumer until `wake()` returns true. `wake` is evaluated
+  /// under the wake mutex: once before sleeping (so a push that landed just
+  /// before the call returns immediately) and after every notification.
+  /// Typical use: ConsumerWait([&] { return !Empty() || shutting_down; }) —
+  /// with an AssertConsumer() inside the lambda if it calls consumer-only
+  /// methods (lambdas do not inherit the caller's capabilities).
   template <typename WakeFn>
-  void ConsumerWait(WakeFn&& wake) {
-    std::unique_lock<std::mutex> lock(wake_mutex_);
+  void ConsumerWait(WakeFn&& wake) TSD_REQUIRES(consumer_role_) {
+    UniqueMutexLock lock(wake_mutex_);
     // Publish "parked" before the first predicate check so that a producer
     // whose push the check misses is guaranteed to see the flag and notify
     // (the seq_cst fences on both sides forbid both misses at once). While
@@ -91,7 +111,7 @@ class MpscQueue {
     // all later re-checks after spurious or real wakeups.
     consumer_parked_.store(true, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    wake_cv_.wait(lock, std::forward<WakeFn>(wake));
+    while (!wake()) wake_cv_.Wait(lock);
     consumer_parked_.store(false, std::memory_order_relaxed);
   }
 
@@ -102,13 +122,13 @@ class MpscQueue {
   void NotifyOne() {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (!consumer_parked_.load(std::memory_order_relaxed)) return;
-    { std::lock_guard<std::mutex> lock(wake_mutex_); }  // lost-wakeup fence
-    wake_cv_.notify_one();
+    { MutexLock lock(wake_mutex_); }  // lost-wakeup fence
+    wake_cv_.NotifyOne();
   }
 
   /// True when no fully-published element is visible to the consumer.
   /// Consumer-side view; producers racing a push may not be reflected yet.
-  bool Empty() const {
+  bool Empty() const TSD_REQUIRES(consumer_role_) {
     return tail_->next.load(std::memory_order_acquire) == nullptr;
   }
 
@@ -120,11 +140,15 @@ class MpscQueue {
     std::optional<T> value;  // engaged on every node but the stub
   };
 
-  std::atomic<Node*> head_;  // producers push here
-  Node* tail_;               // consumer pops here (stub-first chain)
+  std::atomic<Node*> head_;  // producers push here (wait-free)
+  /// Consumer cursor of the stub-first chain; confinement to the consumer
+  /// thread (not a lock) is what makes the unsynchronized accesses sound.
+  Node* tail_ TSD_GUARDED_BY(consumer_role_);
 
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  ThreadRole consumer_role_;  // phantom capability: the single consumer
+
+  Mutex wake_mutex_;  // guards no data; the cv's sleep/notify rendezvous
+  CondVar wake_cv_;
   std::atomic<bool> consumer_parked_{false};
 };
 

@@ -1,0 +1,128 @@
+// Annotated synchronization primitives for the Clang thread-safety
+// analysis.
+//
+// The analysis only understands types that carry capability attributes, and
+// libstdc++'s std::mutex / std::lock_guard carry none — so every lock the
+// concurrency substrate uses goes through these thin wrappers instead. They
+// add no state and no behaviour (Mutex is exactly a std::mutex; the RAII
+// guards are exactly lock_guard / unique_lock), only the attributes that
+// let a Clang -Wthread-safety build prove "this guarded field is only ever
+// touched under its lock".
+//
+// ThreadRole is the capability for *thread confinement* — state that is not
+// protected by any lock because exactly one thread is allowed to touch it
+// (a shard's QuerySession, the epoll server's connection table). The role
+// object is a phantom capability: nothing ever locks it; the owning thread
+// claims it with Assert() at its entry point, and from there the analysis
+// checks that TSD_GUARDED_BY(role_) members are reached only from code that
+// made (or inherited) the claim. A wrong claim is a bug the same way a
+// wrong AssertHeld is — the annotations document and check the intended
+// confinement, they do not create it. The handoff that makes the claim true
+// (thread spawn, join, mutex, etc.) is cited in a comment at every Assert.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace tsd {
+
+/// std::mutex with capability annotations. Prefer the RAII guards below;
+/// Lock/Unlock exist for the guards and for odd lifetimes.
+class TSD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TSD_ACQUIRE() { mu_.lock(); }
+  void Unlock() TSD_RELEASE() { mu_.unlock(); }
+  bool TryLock() TSD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Statically tells the analysis the lock is held here (no runtime
+  /// effect). For code reached only from under the lock through paths the
+  /// analysis cannot follow.
+  void AssertHeld() const TSD_ASSERT_CAPABILITY(this) {}
+
+  /// The wrapped mutex, for CondVar. Intentionally not public: waiting
+  /// through CondVar keeps the capability bookkeeping in one place.
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  friend class UniqueMutexLock;
+  std::mutex mu_;
+};
+
+/// Annotated std::lock_guard.
+class TSD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TSD_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() TSD_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+/// Annotated std::unique_lock, for waits. From the analysis's point of view
+/// the capability is held for the full scope — CondVar::Wait's internal
+/// unlock/relock window is invisible, the standard (Abseil-style)
+/// approximation for condition-variable waits.
+class TSD_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) TSD_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueMutexLock() TSD_RELEASE() {}
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over UniqueMutexLock. Waits take the annotated
+/// scoped lock, so guarded state read in the wait loop's condition is
+/// checked like any other access:
+///
+///   UniqueMutexLock lock(mutex_);
+///   while (!ready_) cv_.Wait(lock);   // ready_ TSD_GUARDED_BY(mutex_)
+///
+/// Prefer the explicit while-loop form over predicate lambdas: a lambda
+/// body is analyzed as a separate function that does not inherit the
+/// caller's held capabilities, so guarded reads inside it would need their
+/// own annotations.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(UniqueMutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Phantom capability for thread-confined state. Members annotated
+/// TSD_GUARDED_BY(role_) may only be touched by code that holds the role,
+/// and the role is only ever obtained by Assert() — a statically-checked
+/// claim "I am the confined thread", placed at the owning thread's entry
+/// point with a comment citing the handoff that makes it true.
+class TSD_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  /// Claims the role for the current scope (no runtime effect).
+  void Assert() const TSD_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace tsd

@@ -1,0 +1,88 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These are the standard capability annotations from the Clang
+// -Wthread-safety analysis (the macro set used by Abseil and the Clang
+// documentation), prefixed TSD_ to keep the global namespace clean. They
+// turn the locking contracts that previously lived in comments — "stats_ is
+// guarded by mutex_", "TryPop is consumer-thread-only" — into compile-time
+// checked facts: a Clang build of this tree runs with -Wthread-safety and
+// promotes every violation to an error, so a lock-discipline regression
+// fails the build in seconds instead of surfacing as a flaky TSan report.
+//
+// Conventions used in this codebase (see ROADMAP.md "Static analysis
+// gates"):
+//  * Data guarded by a lock gets TSD_GUARDED_BY(mutex_) and the mutex is a
+//    tsd::Mutex (common/mutex.h) — the annotated wrapper, never a bare
+//    std::mutex (the analysis cannot see through an unannotated type).
+//  * Functions that must run with a lock held get TSD_REQUIRES(mutex_).
+//  * Thread-confined state ("touched only by the consumer thread") is
+//    expressed with a tsd::ThreadRole capability: the confined members are
+//    TSD_GUARDED_BY(role_), the confined methods are TSD_REQUIRES(role_),
+//    and the owning thread claims the role once at its entry point with
+//    role_.Assert(). The assert is a no-op at runtime — it is a statically
+//    checked declaration of which code believes it is on that thread.
+//  * Intentional rule-breakers (Dekker-style fast paths, lock-free
+//    handoffs) get TSD_NO_THREAD_SAFETY_ANALYSIS plus a comment explaining
+//    why the analysis cannot model them.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TSD_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TSD_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability (lockable/role) type.
+#define TSD_CAPABILITY(x) TSD_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define TSD_SCOPED_CAPABILITY TSD_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member requires the capability to be held for any access.
+#define TSD_GUARDED_BY(x) TSD_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* requires the capability.
+#define TSD_PT_GUARDED_BY(x) TSD_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define TSD_ACQUIRED_BEFORE(...) \
+  TSD_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define TSD_ACQUIRED_AFTER(...) \
+  TSD_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively / shared).
+#define TSD_REQUIRES(...) \
+  TSD_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define TSD_REQUIRES_SHARED(...) \
+  TSD_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (and does not release it).
+#define TSD_ACQUIRE(...) \
+  TSD_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define TSD_ACQUIRE_SHARED(...) \
+  TSD_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define TSD_RELEASE(...) \
+  TSD_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define TSD_RELEASE_SHARED(...) \
+  TSD_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define TSD_TRY_ACQUIRE(b, ...) \
+  TSD_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrant entry points).
+#define TSD_EXCLUDES(...) TSD_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime claim that the capability is held; informs the analysis without
+/// acquiring anything (AssertHeld / thread-role claims).
+#define TSD_ASSERT_CAPABILITY(x) TSD_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define TSD_RETURN_CAPABILITY(x) TSD_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Opts a function out of the analysis. Use only with a comment explaining
+/// the pattern the analysis cannot model.
+#define TSD_NO_THREAD_SAFETY_ANALYSIS \
+  TSD_THREAD_ANNOTATION__(no_thread_safety_analysis)

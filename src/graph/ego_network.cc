@@ -4,7 +4,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
-#include "truss/parallel_truss.h"
+#include "graph/triangle.h"
 
 namespace tsd {
 

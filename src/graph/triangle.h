@@ -7,9 +7,11 @@
 // the Lemma 2 upper bound, and the one-shot global ego-network extraction of
 // Section 6.2.
 //
-// The entry points here are the sequential kernels; the multi-threaded
-// variants (per-worker accumulation over the same ForwardAdjacency, merged
-// deterministically) live in truss/parallel_truss.h.
+// Both the sequential kernels and the multi-threaded variants (per-worker
+// accumulation over the same ForwardAdjacency, merged deterministically)
+// live here: triangle listing depends only on graph/ and common/, and
+// graph/ego_network.cc consumes the forward machinery directly — keeping it
+// in truss/ would point the layer DAG the wrong way.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +35,18 @@ std::vector<std::uint32_t> ComputeSupport(const Graph& graph);
 /// C(d, 2) triangles, which overflows 32 bits for d ≳ 93k in a dense
 /// community.
 std::vector<std::uint64_t> TrianglesPerVertex(const Graph& graph);
+
+/// Parallel total triangle count. Equals CountTriangles(graph).
+std::uint64_t CountTriangles(const Graph& graph, const ParallelConfig& config);
+
+/// Parallel edge supports. Equals ComputeSupport(graph).
+std::vector<std::uint32_t> ComputeSupport(const Graph& graph,
+                                          const ParallelConfig& config);
+
+/// Parallel per-vertex triangle counts (the ego-network edge counts m_v).
+/// Equals TrianglesPerVertex(graph); 64-bit, see above.
+std::vector<std::uint64_t> TrianglesPerVertex(const Graph& graph,
+                                              const ParallelConfig& config);
 
 /// Enumerates every triangle exactly once. The callback receives the three
 /// corner vertices and the ids of the three edges:
@@ -95,6 +109,30 @@ void ForEachTriangleInRange(const ForwardAdjacency& fwd, VertexId u_begin,
     }
   }
 }
+
+/// Cap on the total per-worker accumulator scratch (num_threads × array
+/// bytes) the counting kernels may allocate. Above it they fall back to one
+/// shared array of relaxed atomics: slower per increment on contended cache
+/// lines, but O(m) instead of O(threads × m) memory — a billion-edge graph
+/// at 8 threads would otherwise need tens of GB of scratch. Results are
+/// identical either way.
+inline constexpr std::uint64_t kCountingScratchBudgetBytes =
+    std::uint64_t{1} << 30;
+
+/// Edge supports over a prebuilt forward adjacency for `m` edges.
+/// `scratch_budget_bytes` selects the accumulation strategy (tests pass 0
+/// to force the shared-atomic path on small graphs).
+std::vector<std::uint32_t> SupportFromForward(
+    const ForwardAdjacency& fwd, EdgeId m, const ParallelConfig& config,
+    std::uint64_t scratch_budget_bytes = kCountingScratchBudgetBytes);
+
+/// Per-vertex triangle counts over a prebuilt forward adjacency for `n`
+/// vertices — the shared kernel behind TrianglesPerVertex and the counting
+/// pass of the global ego listing (which reuses its ForwardAdjacency for
+/// the distribution pass).
+std::vector<std::uint64_t> TrianglesPerVertexFromForward(
+    const ForwardAdjacency& fwd, VertexId n, const ParallelConfig& config,
+    std::uint64_t scratch_budget_bytes = kCountingScratchBudgetBytes);
 
 }  // namespace internal
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace tsd {
 
@@ -76,12 +77,12 @@ Future<ServeReply> ConsumerLoop::Submit(const ServeRequest& request,
   // tenant depth), so rejections are deterministic for a given submission
   // sequence regardless of how fast the consumer drains.
   if (request.k < 2 || request.r < 1) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.rejected_bad_query;
     return RejectNow(ServeStatus::kRejectedBadQuery);
   }
   if (request.r > options_.max_r) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.rejected_r_limit;
     return RejectNow(ServeStatus::kRejectedRLimit);
   }
@@ -96,13 +97,13 @@ Future<ServeReply> ConsumerLoop::Submit(const ServeRequest& request,
     // our transient increment was visible; re-notify so the exit predicate
     // is re-evaluated, otherwise Shutdown()'s join() can hang forever.
     queue_.NotifyOne();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.rejected_shutdown;
     return RejectNow(ServeStatus::kRejectedShutdown);
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!depth_.TryIncrement(request.tenant, tenant_hash,
                              options_.max_queue_depth)) {
       queued_.fetch_sub(1);
@@ -146,7 +147,7 @@ void ConsumerLoop::ServeBatch(std::vector<Pending>& batch) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.batches;
     if (stats_.batch_size_count.size() <= batch.size()) {
       stats_.batch_size_count.resize(batch.size() + 1, 0);
@@ -174,6 +175,12 @@ void ConsumerLoop::ServeBatch(std::vector<Pending>& batch) {
 }
 
 void ConsumerLoop::RunLoop() {
+  // This function IS the consumer thread (spawned exactly once by Start();
+  // the std::thread construction is the happens-before handoff), so it may
+  // claim the queue's consumer role and the loop's consumer-thread role for
+  // everything it calls.
+  queue_.AssertConsumer();
+  consumer_thread_.Assert();
   std::vector<Pending> batch;
   while (true) {
     batch.clear();
@@ -188,6 +195,7 @@ void ConsumerLoop::RunLoop() {
     }
     if (!accepting_.load() && queued_.load() == 0) break;
     queue_.ConsumerWait([this] {
+      queue_.AssertConsumer();  // same thread; lambdas are analyzed alone
       return !queue_.Empty() || (!accepting_.load() && queued_.load() == 0);
     });
   }
@@ -208,7 +216,7 @@ void ConsumerLoop::Shutdown() {
 }
 
 ServeStats ConsumerLoop::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -13,17 +13,24 @@
 // are a pure function of each request, rejection paths that re-notify a
 // parked consumer so Shutdown cannot deadlock) hold per shard by
 // construction.
+// Thread-safety annotations: the admission state (depth table + counters)
+// is TSD_GUARDED_BY(mutex_) and touched by submitters and the consumer
+// alike; the QuerySession is TSD_GUARDED_BY(consumer_thread_) — a
+// ThreadRole capability, not a lock — because only the consumer thread may
+// run batches on it. RunLoop() claims both roles once at thread entry (the
+// std::thread spawn in Start() is the handoff), so a future Submit-path
+// touch of the session is a Clang build error.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/future.h"
 #include "common/hash.h"
 #include "common/mpsc_queue.h"
+#include "common/mutex.h"
 #include "core/query_session.h"
 #include "server/serve_types.h"
 #include "server/tenant_table.h"
@@ -79,12 +86,15 @@ class ConsumerLoop {
   };
 
   void RunLoop();
-  void ServeBatch(std::vector<Pending>& batch);
+  void ServeBatch(std::vector<Pending>& batch) TSD_REQUIRES(consumer_thread_);
   Future<ServeReply> RejectNow(ServeStatus status);
 
   const DiversitySearcher& searcher_;
   const ServeOptions options_;
-  QuerySession session_;  // touched only by the consumer thread
+  /// The consumer thread's identity as a checkable capability: everything
+  /// guarded by it is confined to the thread RunLoop() runs on.
+  ThreadRole consumer_thread_;
+  QuerySession session_ TSD_GUARDED_BY(consumer_thread_);
 
   MpscQueue<Pending> queue_;
   std::atomic<bool> accepting_{true};
@@ -92,9 +102,9 @@ class ConsumerLoop {
   std::atomic<std::uint64_t> queued_{0};  // accepted, not yet served
   std::thread consumer_;
 
-  mutable std::mutex mutex_;  // guards depth_ and stats_
-  TenantDepthTable depth_;
-  ServeStats stats_;
+  mutable Mutex mutex_;
+  TenantDepthTable depth_ TSD_GUARDED_BY(mutex_);
+  ServeStats stats_ TSD_GUARDED_BY(mutex_);
 };
 
 }  // namespace internal

@@ -27,6 +27,13 @@
 // fulfill, admission, stats) lives in internal::ConsumerLoop, which
 // server/sharded_serve.h replicates S ways with tenants hashed to shards
 // for inter-batch parallelism.
+//
+// Thread-safety: this class adds no mutable state of its own — every
+// capability (the admission mutex, the consumer-thread role guarding the
+// QuerySession) lives in the embedded ConsumerLoop, where the Clang
+// -Wthread-safety build checks it. Pure delegating wrappers like this one
+// stay annotation-free by design: annotations belong next to the state
+// they guard, not on every forwarding layer above it.
 #pragma once
 
 #include "server/consumer_loop.h"

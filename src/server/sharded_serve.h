@@ -110,7 +110,10 @@ class ShardedServeLoop : public ServeSubmitter {
   }
 
   // unique_ptr because ConsumerLoop is immovable (it owns a thread, a
-  // mutex, and an intrusive queue).
+  // mutex, and an intrusive queue). shards_ itself is written only by the
+  // constructor and needs no capability; each shard's mutable state is
+  // guarded inside ConsumerLoop (its admission Mutex and consumer-thread
+  // ThreadRole), which is where the -Wthread-safety build checks it.
   std::vector<std::unique_ptr<internal::ConsumerLoop>> shards_;
 };
 

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/strings.h"
 #include "common/table.h"
 
@@ -107,6 +108,11 @@ void SocketServer::Start() {
   if (started_.exchange(true)) return;
   loop_.Start();
 
+  // The event thread does not exist yet, so this thread temporarily IS the
+  // event loop for the setup below; the std::thread construction at the end
+  // is the happens-before handoff that moves the confinement over.
+  event_loop_role_.Assert();
+
   listen_fd_ =
       ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   TSD_CHECK_MSG(listen_fd_ >= 0, "socket(): " << std::strerror(errno));
@@ -152,30 +158,40 @@ std::uint16_t SocketServer::port() const {
 }
 
 void SocketServer::Shutdown() {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  // lifecycle_mutex_ is deliberately held across the join below: it exists
+  // only to serialize concurrent Shutdown() callers (second caller blocks
+  // until the first finishes the teardown), and the event thread never
+  // takes it, so the blocking join cannot invert against it.
+  MutexLock lock(lifecycle_mutex_);
   if (!started_.load(std::memory_order_acquire)) return;
   shutdown_requested_.store(true, std::memory_order_release);
   waker_->Wake();
   if (event_thread_.joinable()) {
     event_thread_.join();
   } else {
-    // Start() threw before spawning the loop; reclaim what it opened.
+    // Start() threw before spawning the loop; no event thread ever existed,
+    // so its confinement (and the descriptors it guards) fall back to us.
+    event_loop_role_.Assert();
     if (listen_fd_ >= 0) ::close(std::exchange(listen_fd_, -1));
     if (epoll_fd_ >= 0) ::close(std::exchange(epoll_fd_, -1));
   }
   {
-    std::lock_guard<std::mutex> exit_lock(exit_mutex_);
+    MutexLock exit_lock(exit_mutex_);
     loop_exited_ = true;
   }
-  exit_cv_.notify_all();
+  exit_cv_.NotifyAll();
 }
 
 void SocketServer::WaitUntilShutdown() {
-  std::unique_lock<std::mutex> lock(exit_mutex_);
-  exit_cv_.wait(lock, [this] { return loop_exited_; });
+  UniqueMutexLock lock(exit_mutex_);
+  while (!loop_exited_) exit_cv_.Wait(lock);
 }
 
 void SocketServer::EventLoop() {
+  // This function IS the event-loop thread (spawned exactly once by
+  // Start(); the std::thread construction is the handoff), so it owns the
+  // connection table, the drain state, and the descriptors for good.
+  event_loop_role_.Assert();
   std::vector<epoll_event> events(64);
   while (true) {
     if (shutdown_requested_.load(std::memory_order_acquire) && !draining_) {
@@ -280,10 +296,10 @@ void SocketServer::EventLoop() {
   if (listen_fd_ >= 0) ::close(std::exchange(listen_fd_, -1));
   if (epoll_fd_ >= 0) ::close(std::exchange(epoll_fd_, -1));
   {
-    std::lock_guard<std::mutex> lock(exit_mutex_);
+    MutexLock lock(exit_mutex_);
     loop_exited_ = true;
   }
-  exit_cv_.notify_all();
+  exit_cv_.NotifyAll();
 }
 
 void SocketServer::BeginDrain() {
@@ -327,7 +343,7 @@ void SocketServer::AcceptConnections() {
       continue;
     }
     connections_.emplace(fd, std::move(conn));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.connections_accepted;
   }
 }
@@ -352,7 +368,7 @@ void SocketServer::ReadFromConnection(Connection& c) {
     const ssize_t n = ::recv(c.fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         stats_.bytes_in += static_cast<std::uint64_t>(n);
       }
       c.inbuf.append(chunk, static_cast<std::size_t>(n));
@@ -386,7 +402,7 @@ void SocketServer::ParseFrames(Connection& c) {
       if (!c.paused) {
         c.paused = true;
         {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
+          MutexLock lock(stats_mutex_);
           ++stats_.backpressure_pauses;
         }
         UpdateInterest(c);
@@ -416,13 +432,13 @@ void SocketServer::DispatchFrame(Connection& c, const char* payload,
   }
   const std::uint64_t id = ++c.next_id;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.frames_in;
   }
   switch (frame.type) {
     case kQueryFrame: {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++stats_.queries;
         auto it = tenants_.find(frame.tenant);
         if (it != tenants_.end()) {
@@ -447,7 +463,7 @@ void SocketServer::DispatchFrame(Connection& c, const char* payload,
     }
     case kStatsFrame: {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++stats_.stats_requests;
       }
       internal::PendingReply reply;
@@ -477,7 +493,7 @@ void SocketServer::DispatchFrame(Connection& c, const char* payload,
 
 void SocketServer::ProtocolError(Connection& c, const std::string& message) {
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.protocol_errors;
   }
   internal::PendingReply reply;
@@ -513,7 +529,7 @@ bool SocketServer::HarvestConnection(Connection& c) {
         }
       }
       frame = EncodeReplyFrame(front.id, reply.status, entries);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       stats_.latency_ns.Record(static_cast<std::uint64_t>(latency.count()));
     }
     c.pending.pop_front();
@@ -530,9 +546,16 @@ void SocketServer::AppendOutbound(Connection& c, std::string frame) {
     c.outbuf.erase(0, c.outbuf_off);
     c.outbuf_off = 0;
   }
-  c.outbuf += frame;
+  if (c.outbuf.empty()) {
+    // Adopt the frame's buffer outright: in the common keep-up case the
+    // previous flush drained everything, and appending here would copy
+    // every reply's bytes a second time.
+    c.outbuf = std::move(frame);
+  } else {
+    c.outbuf += frame;
+  }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.replies_sent;
     if (c.outbound_bytes() > stats_.outbound_high_water) {
       stats_.outbound_high_water = c.outbound_bytes();
@@ -541,7 +564,7 @@ void SocketServer::AppendOutbound(Connection& c, std::string frame) {
   if (!c.paused && !c.read_shutdown && OverInboundLimit(c)) {
     c.paused = true;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.backpressure_pauses;
     }
     UpdateInterest(c);
@@ -557,7 +580,7 @@ bool SocketServer::FlushConnection(Connection& c) {
     if (n > 0) {
       c.outbuf_off += static_cast<std::size_t>(n);
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         stats_.bytes_out += static_cast<std::uint64_t>(n);
       }
       progressed = true;
@@ -608,7 +631,7 @@ void SocketServer::CloseConnection(int fd) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   connections_.erase(it);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   ++stats_.connections_closed;
 }
 
@@ -618,7 +641,7 @@ bool SocketServer::OverInboundLimit(const Connection& c) const {
 }
 
 SocketServerStats SocketServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   SocketServerStats snapshot = stats_;
   snapshot.tenant_queries.assign(tenants_.begin(), tenants_.end());
   return snapshot;

@@ -34,22 +34,31 @@
 // histograms (common/histogram.h), per-tenant query counters, and
 // transport counters, rendered through common/table.h and served to any
 // client as a kStatsFrame reply (`tsdtool client --stats`).
+//
+// Thread-safety annotations: the per-connection state (connection table,
+// drain state, the listen/epoll descriptors) is confined to the event-loop
+// thread and TSD_GUARDED_BY(event_loop_role_) — a ThreadRole capability,
+// not a lock; EventLoop() claims it at thread entry, and Start() claims it
+// on the caller's thread for the setup that happens strictly before the
+// spawn (the std::thread construction is the handoff). Only the counters
+// crossed by consumer threads (stats_, tenants_) take a real lock
+// (stats_mutex_). The eventfd poked from consumer-thread OnReady hooks is
+// owned via shared_ptr precisely because those hooks outrun confinement.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "server/socket_proto.h"
 
 namespace tsd {
@@ -155,25 +164,35 @@ class SocketServer {
   using Connection = internal::SocketConnection;
 
   void EventLoop();
-  void BeginDrain();
-  void AcceptConnections();
-  void ReadFromConnection(Connection& c);
-  void ParseFrames(Connection& c);
-  void DispatchFrame(Connection& c, const char* payload, std::size_t size);
-  void ProtocolError(Connection& c, const std::string& message);
-  bool HarvestConnection(Connection& c);
-  bool FlushConnection(Connection& c);
-  void AppendOutbound(Connection& c, std::string frame);
-  void MaybeResumeReading(Connection& c);
-  void UpdateInterest(Connection& c);
-  void CloseConnection(int fd);
+  void BeginDrain() TSD_REQUIRES(event_loop_role_);
+  void AcceptConnections() TSD_REQUIRES(event_loop_role_);
+  void ReadFromConnection(Connection& c) TSD_REQUIRES(event_loop_role_);
+  void ParseFrames(Connection& c) TSD_REQUIRES(event_loop_role_);
+  void DispatchFrame(Connection& c, const char* payload, std::size_t size)
+      TSD_REQUIRES(event_loop_role_);
+  void ProtocolError(Connection& c, const std::string& message)
+      TSD_REQUIRES(event_loop_role_);
+  bool HarvestConnection(Connection& c) TSD_REQUIRES(event_loop_role_);
+  bool FlushConnection(Connection& c) TSD_REQUIRES(event_loop_role_);
+  void AppendOutbound(Connection& c, std::string frame)
+      TSD_REQUIRES(event_loop_role_);
+  void MaybeResumeReading(Connection& c) TSD_REQUIRES(event_loop_role_);
+  void UpdateInterest(Connection& c) TSD_REQUIRES(event_loop_role_);
+  void CloseConnection(int fd) TSD_REQUIRES(event_loop_role_);
   bool OverInboundLimit(const Connection& c) const;
 
   ServeSubmitter& loop_;
   const SocketServerOptions options_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
+  /// The event-loop thread's identity as a checkable capability: the
+  /// connection table, drain state, and the two descriptors below are
+  /// confined to it (Start() holds it briefly before the spawn handoff).
+  ThreadRole event_loop_role_;
+
+  int listen_fd_ TSD_GUARDED_BY(event_loop_role_) = -1;
+  int epoll_fd_ TSD_GUARDED_BY(event_loop_role_) = -1;
+  /// Written once in Start() strictly before the started_ release-store;
+  /// port() readers synchronize through that acquire-load, not a lock.
   std::uint16_t bound_port_ = 0;
   /// Owns the eventfd; shared with every registered OnReady hook so a hook
   /// firing after the server died still writes to a live descriptor.
@@ -182,19 +201,21 @@ class SocketServer {
   std::thread event_thread_;
   std::atomic<bool> started_{false};
   std::atomic<bool> shutdown_requested_{false};
-  std::mutex lifecycle_mutex_;  // serializes Shutdown() joiners
-  std::mutex exit_mutex_;
-  std::condition_variable exit_cv_;
-  bool loop_exited_ = false;
+  Mutex lifecycle_mutex_;  // serializes Shutdown() joiners
+  Mutex exit_mutex_;
+  CondVar exit_cv_;
+  bool loop_exited_ TSD_GUARDED_BY(exit_mutex_) = false;
 
   // Event-loop state (touched only by the event thread after Start()).
-  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
-  bool draining_ = false;
-  Clock::time_point drain_deadline_{};
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_
+      TSD_GUARDED_BY(event_loop_role_);
+  bool draining_ TSD_GUARDED_BY(event_loop_role_) = false;
+  Clock::time_point drain_deadline_ TSD_GUARDED_BY(event_loop_role_){};
 
-  mutable std::mutex stats_mutex_;
-  SocketServerStats stats_;                        // counters + histogram
-  std::map<std::uint64_t, std::uint64_t> tenants_;  // ascending for render
+  mutable Mutex stats_mutex_;
+  SocketServerStats stats_ TSD_GUARDED_BY(stats_mutex_);
+  std::map<std::uint64_t, std::uint64_t> tenants_  // ascending for render
+      TSD_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace tsd

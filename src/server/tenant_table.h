@@ -16,8 +16,14 @@
 // erase-shift) never recomputes it and the table works with any hash the
 // caller fixes — it only has to be consistent per tenant. A slot with
 // depth == 0 is empty: stored depths are always >= 1 because the consumer
-// erases a tenant's slot when its last in-flight request completes. Not
-// thread-safe; callers hold the admission mutex.
+// erases a tenant's slot when its last in-flight request completes.
+//
+// Not thread-safe. The table carries no capability of its own because the
+// guarding lock lives in the owner: each shard embeds its table as
+// `TenantDepthTable depth_ TSD_GUARDED_BY(mutex_)` (server/consumer_loop.h),
+// which is how the Clang thread-safety build proves every Submit-path and
+// drain-path touch happens under that shard's admission mutex — annotate
+// the *member*, not the class, when a type is reused under different locks.
 #pragma once
 
 #include <cstdint>

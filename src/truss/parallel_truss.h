@@ -1,16 +1,13 @@
-// Parallel global triangle counting and truss decomposition.
+// Parallel truss decomposition (frontier-parallel support peeling).
 //
 // The global preprocess (support computation + support peeling) was the last
 // sequential stage of the library once queries and index builds went
-// parallel. These kernels follow the standard parallel k-truss recipe
-// (Burkhardt, "Bounds and algorithms for graph trusses"; the level-
-// synchronous peelers shipped in Katana-style graph engines):
+// parallel. The triangle-counting half lives in graph/triangle.h (it depends
+// only on graph/ + common/); this header owns the peeling half, following
+// the standard parallel k-truss recipe (Burkhardt, "Bounds and algorithms
+// for graph trusses"; the level-synchronous peelers shipped in Katana-style
+// graph engines):
 //
-//  * Triangle kernels run over one shared ForwardAdjacency (itself built in
-//    parallel) with per-worker accumulators merged in deterministic worker
-//    order; above a scratch budget they switch to one shared array of
-//    relaxed atomics (integer adds commute, so both strategies produce
-//    results bit-identical to the sequential ForEachTriangle kernels).
 //  * Trussness is solved frontier-by-frontier: every edge whose support has
 //    reached the current peeling level is removed in one parallel sub-round,
 //    and the supports of the surviving triangle partners are decremented
@@ -19,8 +16,9 @@
 //    bit-identical to PeelSupportToTrussness at any thread count — which is
 //    what tests/parallel_truss_test.cc asserts.
 //
-// With config.num_threads == 1 every entry point routes to the sequential
-// kernel, so the single-thread path stays byte-for-byte the audited one.
+// With config.num_threads == 1 TrussnessFromSupport routes to the sequential
+// bucket-queue peel, so the single-thread path stays byte-for-byte the
+// audited one.
 #pragma once
 
 #include <cstdint>
@@ -28,21 +26,9 @@
 
 #include "common/parallel.h"
 #include "graph/graph.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 
 namespace tsd {
-
-/// Parallel total triangle count. Equals CountTriangles(graph).
-std::uint64_t CountTriangles(const Graph& graph, const ParallelConfig& config);
-
-/// Parallel edge supports. Equals ComputeSupport(graph).
-std::vector<std::uint32_t> ComputeSupport(const Graph& graph,
-                                          const ParallelConfig& config);
-
-/// Parallel per-vertex triangle counts (the ego-network edge counts m_v).
-/// Equals TrianglesPerVertex(graph); 64-bit, see triangle.h.
-std::vector<std::uint64_t> TrianglesPerVertex(const Graph& graph,
-                                              const ParallelConfig& config);
 
 /// Solves edge trussness from initial supports by frontier-parallel peeling.
 /// `support` is consumed as scratch. The result is bit-identical to
@@ -67,31 +53,4 @@ std::vector<std::uint32_t> TrussnessFromSupportJacobi(
     const Graph& graph, std::vector<std::uint32_t> support,
     const ParallelConfig& config);
 
-namespace internal {
-
-/// Cap on the total per-worker accumulator scratch (num_threads × array
-/// bytes) the counting kernels may allocate. Above it they fall back to one
-/// shared array of relaxed atomics: slower per increment on contended cache
-/// lines, but O(m) instead of O(threads × m) memory — a billion-edge graph
-/// at 8 threads would otherwise need tens of GB of scratch. Results are
-/// identical either way.
-inline constexpr std::uint64_t kCountingScratchBudgetBytes =
-    std::uint64_t{1} << 30;
-
-/// Edge supports over a prebuilt forward adjacency for `m` edges.
-/// `scratch_budget_bytes` selects the accumulation strategy (tests pass 0
-/// to force the shared-atomic path on small graphs).
-std::vector<std::uint32_t> SupportFromForward(
-    const ForwardAdjacency& fwd, EdgeId m, const ParallelConfig& config,
-    std::uint64_t scratch_budget_bytes = kCountingScratchBudgetBytes);
-
-/// Per-vertex triangle counts over a prebuilt forward adjacency for `n`
-/// vertices — the shared kernel behind TrianglesPerVertex and the counting
-/// pass of the global ego listing (which reuses its ForwardAdjacency for
-/// the distribution pass).
-std::vector<std::uint64_t> TrianglesPerVertexFromForward(
-    const ForwardAdjacency& fwd, VertexId n, const ParallelConfig& config,
-    std::uint64_t scratch_budget_bytes = kCountingScratchBudgetBytes);
-
-}  // namespace internal
 }  // namespace tsd

@@ -416,6 +416,9 @@ TEST(SerializeTest, RejectsBadMagicAndTruncation) {
 
 TEST(MpscQueueTest, FifoSingleProducer) {
   MpscQueue<int> queue;
+  // The test body plays both roles; it is the only thread, so it may claim
+  // the consumer capability for the thread-safety analysis.
+  queue.AssertConsumer();
   EXPECT_TRUE(queue.Empty());
   for (int i = 0; i < 100; ++i) queue.Push(i);
   EXPECT_FALSE(queue.Empty());
@@ -430,6 +433,7 @@ TEST(MpscQueueTest, FifoSingleProducer) {
 
 TEST(MpscQueueTest, MoveOnlyPayload) {
   MpscQueue<std::unique_ptr<int>> queue;
+  queue.AssertConsumer();  // single-threaded test body
   queue.Push(std::make_unique<int>(42));
   std::unique_ptr<int> out;
   ASSERT_TRUE(queue.TryPop(&out));
@@ -450,6 +454,8 @@ TEST(MpscQueueTest, MultiProducerPreservesPerProducerOrder) {
       for (int i = 0; i < kPerProducer; ++i) queue.Push({p, i});
     });
   }
+  // The gtest main thread is the single consumer; producers only Push.
+  queue.AssertConsumer();
   std::vector<int> next_expected(kProducers, 0);
   int popped = 0;
   std::pair<int, int> item;
@@ -460,7 +466,10 @@ TEST(MpscQueueTest, MultiProducerPreservesPerProducerOrder) {
       ++next_expected[item.first];
       ++popped;
     } else {
-      queue.ConsumerWait([&] { return !queue.Empty(); });
+      queue.ConsumerWait([&] {
+        queue.AssertConsumer();  // same thread; lambdas are analyzed alone
+        return !queue.Empty();
+      });
     }
   }
   for (std::thread& t : producers) t.join();
@@ -541,6 +550,9 @@ TEST(MpscQueueTest, NotifyParkTortureExercisesDekkerFastPath) {
     }
   });
 
+  // The gtest main thread is the single consumer; producers and the
+  // notifier never touch the consumer side.
+  queue.AssertConsumer();
   std::vector<int> next_expected(kProducers, 0);
   int popped = 0;
   std::pair<int, int> item;
@@ -552,6 +564,7 @@ TEST(MpscQueueTest, NotifyParkTortureExercisesDekkerFastPath) {
       ++popped;
     } else {
       queue.ConsumerWait([&] {
+        queue.AssertConsumer();  // same thread; lambdas are analyzed alone
         return !queue.Empty() || producers_done.load() == kProducers;
       });
     }

@@ -8,7 +8,7 @@
 #include "graph/generators.h"
 #include "reference_impls.h"
 #include "truss/ego_truss.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 
 namespace tsd {
 namespace {

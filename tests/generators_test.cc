@@ -8,7 +8,7 @@
 #include "common/disjoint_set.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 
 namespace tsd {
 namespace {

@@ -1,0 +1,45 @@
+# Headers-include-what-they-use, enforced the cheap honest way: every
+# header under src/ must compile standalone (`-fsyntax-only -x c++` with
+# only -I src). A header that leans on its includers for <vector> or
+# "common/check.h" passes a normal build by luck of include order and
+# breaks the first new includer; compiling it alone removes the luck.
+# This is the compile-level half of the hygiene pair — lint_layering's
+# token scan handles direction (the DAG) and resolution; this script
+# handles sufficiency. Runs under any compiler. Tier-1 ctest:
+# `ctest -R headers_selfcontained`.
+#
+# Required -D variables:
+#   REPO_ROOT      repository root (contains src/)
+#   CXX_COMPILER   the configured CMAKE_CXX_COMPILER
+foreach(var REPO_ROOT CXX_COMPILER)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "headers_selfcontained: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(GLOB_RECURSE headers "${REPO_ROOT}/src/*.h")
+list(SORT headers)
+
+set(failures 0)
+foreach(header IN LISTS headers)
+  file(RELATIVE_PATH rel "${REPO_ROOT}" "${header}")
+  execute_process(
+    COMMAND "${CXX_COMPILER}" -std=c++20 -fsyntax-only -x c++
+            -I "${REPO_ROOT}/src" "${header}"
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT exit_code EQUAL 0)
+    message(SEND_ERROR
+      "${rel} is not self-contained:\n${out}${err}")
+    math(EXPR failures "${failures}+1")
+  endif()
+endforeach()
+
+list(LENGTH headers header_count)
+if(failures GREATER 0)
+  message(FATAL_ERROR
+    "headers_selfcontained: ${failures}/${header_count} header(s) failed")
+endif()
+message(STATUS
+  "headers_selfcontained: all ${header_count} src/ headers compile standalone")

@@ -13,7 +13,7 @@
 #include "core/tsd_index.h"
 #include "graph/datasets.h"
 #include "graph/generators.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 
 namespace tsd {
 namespace {

@@ -1,0 +1,3 @@
+// Fixture: same violation as bad_downward, excused by allow.txt.
+#pragma once
+#include "truss/decompose.h"

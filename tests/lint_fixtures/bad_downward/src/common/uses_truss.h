@@ -1,0 +1,3 @@
+// Fixture: MUST fail lint — common reaching down into truss.
+#pragma once
+#include "truss/decompose.h"

@@ -1,0 +1,3 @@
+// Fixture: clean layering (common has no project includes).
+#pragma once
+inline int Util() { return 1; }

@@ -1,0 +1,4 @@
+// Fixture: truss may include common.
+#pragma once
+#include "common/util.h"
+inline int Decompose() { return Util(); }

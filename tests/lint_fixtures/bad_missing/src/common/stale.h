@@ -1,0 +1,3 @@
+// Fixture: MUST fail lint — stale include left by a rename.
+#pragma once
+#include "common/renamed_away.h"

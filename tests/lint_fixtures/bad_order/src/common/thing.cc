@@ -1,0 +1,4 @@
+// Fixture: MUST fail lint — own header is not the first include.
+#include "common/util.h"
+#include "common/thing.h"
+int ThingImpl() { return Thing(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int Thing() { return 2; }

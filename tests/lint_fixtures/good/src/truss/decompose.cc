@@ -1,0 +1,4 @@
+#include "truss/decompose.h"
+
+#include "common/util.h"
+int DecomposeImpl() { return Decompose() + Util(); }

@@ -20,7 +20,7 @@
 #include "graph/graph.h"
 #include "truss/parallel_truss.h"
 #include "truss/peeling.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 #include "truss/truss_decomposition.h"
 
 namespace tsd {

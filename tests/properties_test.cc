@@ -11,7 +11,7 @@
 #include "graph/generators.h"
 #include "truss/ego_truss.h"
 #include "truss/k_truss.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 #include "truss/truss_decomposition.h"
 
 namespace tsd {

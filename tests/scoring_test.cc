@@ -11,7 +11,7 @@
 #include "graph/ego_network.h"
 #include "graph/generators.h"
 #include "truss/ego_truss.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 
 namespace tsd {
 namespace {

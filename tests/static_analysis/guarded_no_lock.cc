@@ -1,0 +1,29 @@
+// Negative compile test: reading a TSD_GUARDED_BY field without holding
+// its mutex MUST fail under `clang -Wthread-safety -Werror`. If this file
+// ever compiles under the thread-safety build, the annotation substrate
+// has stopped enforcing anything — tests/static_analysis_test.cmake treats
+// successful compilation as a test failure. The matching control
+// (guarded_with_lock.cc) proves the failure is the missing lock, not the
+// harness.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG (deliberate): value_ requires mutex_, none held.
+  }
+
+ private:
+  tsd::Mutex mutex_;
+  int value_ TSD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Control for guarded_no_lock.cc: the identical guarded access, but under
+// MutexLock. MUST compile cleanly under `clang -Wthread-safety -Werror`;
+// if it does not, the negative test's failure means the harness (flags,
+// include paths) is broken rather than the analysis catching the bug.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    tsd::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  tsd::Mutex mutex_;
+  int value_ TSD_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,122 @@
+# Static-analysis gate self-tests, run as a tier-1 ctest via `cmake -P`.
+#
+# Two families:
+#
+#  1. Layering-linter fixtures (all compilers): lint_layering must pass the
+#     clean tree and the `good`/`allowlisted` fixtures, and must FAIL each
+#     `bad_*` fixture for the right rule. This is the proof that "adding a
+#     downward include fails the build" — the linter is a default ctest, so
+#     a DAG regression turns the tier-1 suite red.
+#
+#  2. Negative compile tests (Clang only): tests/static_analysis/
+#     guarded_no_lock.cc must FAIL to compile under
+#     `-Wthread-safety -Werror` and its control guarded_with_lock.cc must
+#     PASS — the proof that removing a lock acquisition fails the build.
+#     `try_compile` is unavailable in script mode, so the compiler is
+#     invoked directly with -fsyntax-only. Under GCC (which ignores the
+#     annotations) this family is skipped with a notice; CI's
+#     static-analysis job provides the Clang run.
+#
+# Required -D variables:
+#   LINT_LAYERING  path to the built lint_layering binary
+#   REPO_ROOT      repository root (contains src/, tools/, tests/)
+#   CXX_COMPILER   the configured CMAKE_CXX_COMPILER
+#   CXX_ID         the configured CMAKE_CXX_COMPILER_ID
+foreach(var LINT_LAYERING REPO_ROOT CXX_COMPILER CXX_ID)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "static_analysis_test: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(FIXTURES "${REPO_ROOT}/tests/lint_fixtures")
+set(failures 0)
+
+# expect_lint(<name> <expected_exit> <args...>)
+function(expect_lint name expected)
+  execute_process(
+    COMMAND "${LINT_LAYERING}" --quiet ${ARGN}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT exit_code EQUAL expected)
+    message(SEND_ERROR
+      "lint case '${name}': expected exit ${expected}, got ${exit_code}\n"
+      "${out}${err}")
+    math(EXPR failures "${failures}+1")
+    set(failures "${failures}" PARENT_SCOPE)
+  else()
+    message(STATUS "lint case '${name}': OK (exit ${exit_code})")
+  endif()
+endfunction()
+
+# The real tree must be clean under the checked-in allowlist.
+expect_lint(real-tree 0
+  --root "${REPO_ROOT}"
+  --allowlist "${REPO_ROOT}/tools/layering_allowlist.txt")
+
+# Fixture battery: one tree per rule.
+expect_lint(fixture-good 0 --root "${FIXTURES}/good")
+expect_lint(fixture-bad-downward 1 --root "${FIXTURES}/bad_downward")
+expect_lint(fixture-bad-missing 1 --root "${FIXTURES}/bad_missing")
+expect_lint(fixture-bad-order 1 --root "${FIXTURES}/bad_order")
+# The same downward include as bad_downward, excused by its allowlist —
+# proves exceptions are per-(file, include) pairs, not a global off switch.
+expect_lint(fixture-allowlisted 0
+  --root "${FIXTURES}/allowlisted"
+  --allowlist "${FIXTURES}/allowlisted/allow.txt")
+# ...and that the same tree FAILS without the allowlist.
+expect_lint(fixture-allowlisted-strict 1 --root "${FIXTURES}/allowlisted")
+
+# ---------------------------------------------------------------------------
+# Negative compile tests: Clang's -Wthread-safety is the analyzer; GCC
+# accepts-and-ignores the attributes, so only Clang can demonstrate the
+# missing-lock failure.
+if(CXX_ID MATCHES "Clang")
+  set(TS_FLAGS -std=c++20 -fsyntax-only -Wthread-safety -Werror
+      -I "${REPO_ROOT}/src")
+
+  execute_process(
+    COMMAND "${CXX_COMPILER}" ${TS_FLAGS}
+            "${REPO_ROOT}/tests/static_analysis/guarded_with_lock.cc"
+    RESULT_VARIABLE control_exit
+    OUTPUT_VARIABLE control_out
+    ERROR_VARIABLE control_err)
+  if(NOT control_exit EQUAL 0)
+    message(SEND_ERROR
+      "control guarded_with_lock.cc failed to compile — harness broken, "
+      "negative result would be meaningless:\n${control_out}${control_err}")
+    math(EXPR failures "${failures}+1")
+  else()
+    message(STATUS "compile case 'guarded-with-lock (control)': OK")
+  endif()
+
+  execute_process(
+    COMMAND "${CXX_COMPILER}" ${TS_FLAGS}
+            "${REPO_ROOT}/tests/static_analysis/guarded_no_lock.cc"
+    RESULT_VARIABLE negative_exit
+    OUTPUT_VARIABLE negative_out
+    ERROR_VARIABLE negative_err)
+  if(negative_exit EQUAL 0)
+    message(SEND_ERROR
+      "guarded_no_lock.cc COMPILED under -Wthread-safety -Werror — the "
+      "annotation substrate is no longer enforcing guarded access")
+    math(EXPR failures "${failures}+1")
+  elseif(NOT negative_err MATCHES "thread-safety|guarded")
+    message(SEND_ERROR
+      "guarded_no_lock.cc failed for the wrong reason (not a thread-safety "
+      "diagnostic):\n${negative_err}")
+    math(EXPR failures "${failures}+1")
+  else()
+    message(STATUS
+      "compile case 'guarded-no-lock (negative)': OK (rejected as expected)")
+  endif()
+else()
+  message(STATUS
+    "compile cases skipped: ${CXX_ID} does not implement -Wthread-safety "
+    "(CI's static-analysis job runs them under Clang)")
+endif()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "static_analysis_test: ${failures} case(s) failed")
+endif()
+message(STATUS "static_analysis_test: all cases passed")

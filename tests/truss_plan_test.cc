@@ -24,7 +24,7 @@
 #include "truss/core_decomposition.h"
 #include "truss/parallel_truss.h"
 #include "truss/peeling.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 #include "truss/truss_decomposition.h"
 #include "truss/truss_plan.h"
 

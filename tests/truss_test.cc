@@ -12,7 +12,7 @@
 #include "reference_impls.h"
 #include "truss/core_decomposition.h"
 #include "truss/k_truss.h"
-#include "truss/triangle.h"
+#include "graph/triangle.h"
 #include "truss/truss_decomposition.h"
 
 namespace tsd {

@@ -1,0 +1,317 @@
+// lint_layering — compile-free enforcement of the repository's include DAG.
+//
+// ROADMAP.md declares a strict layering for src/:
+//
+//   common <- graph <- truss <- core <- server
+//                                    <- influence
+//
+// (an arrow means "may be included by"; server and influence are sibling
+// leaves that may not include each other). Until this PR the DAG lived in
+// prose and was enforced by review; this tool parses the `#include` lines
+// of every file under src/ (plus tools/, bench/, examples/, tests/) and
+// fails on:
+//
+//   [layer]      a project include that points *down* the DAG — e.g. a
+//                common/ header including truss/, or server/ including
+//                influence/;
+//   [missing]    a quoted project include that resolves to no file (catches
+//                renames that leave stale includes behind);
+//   [self-first] a src .cc file whose first quoted include is not its own
+//                header (the convention that keeps headers self-contained:
+//                compiling foo.cc proves foo.h includes what it uses);
+//   [duplicate]  the same include twice in one file.
+//
+// Deliberate exceptions live in a machine-readable allowlist (one
+// "<file> <include>" pair per line, '#' comments); pass --allowlist to use
+// one. The tool is a tier-1 ctest (`ctest -R lint_layering`) so a layering
+// regression fails locally in seconds, not in CI review. Complementary
+// coverage: the headers_selfcontained ctest compiles every header in
+// isolation, which is the "headers include what they use" half this
+// token-level scan cannot prove.
+//
+// Usage: lint_layering --root <repo_root> [--allowlist <file>] [--quiet]
+//        lint_layering --src-root <dir containing a src/ tree> ...
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;  // repo-relative path
+  int line = 0;
+  std::string rule;     // layer | missing | self-first | duplicate
+  std::string message;  // human-readable detail
+};
+
+struct Options {
+  fs::path root;
+  fs::path allowlist;
+  bool quiet = false;
+};
+
+/// The DAG: layer -> layers it may include (always includes itself).
+/// Kept in one table so the linter, the ROADMAP text, and the fixture
+/// tests all describe the same graph.
+const std::map<std::string, std::set<std::string>>& AllowedIncludes() {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"common", {"common"}},
+      {"graph", {"common", "graph"}},
+      {"truss", {"common", "graph", "truss"}},
+      {"core", {"common", "graph", "truss", "core"}},
+      {"server", {"common", "graph", "truss", "core", "server"}},
+      {"influence", {"common", "graph", "truss", "core", "influence"}},
+  };
+  return kAllowed;
+}
+
+/// "common/check.h" -> "common"; "" when the include has no directory
+/// component (never true for this repo's project includes).
+std::string LayerOf(const std::string& project_path) {
+  const std::size_t slash = project_path.find('/');
+  if (slash == std::string::npos) return "";
+  return project_path.substr(0, slash);
+}
+
+/// Extracts the target of a quoted include directive; empty when the line
+/// is not one. Tolerates leading whitespace and `#  include` spacing;
+/// ignores angle-bracket includes (system headers are not project layers).
+std::string QuotedIncludeTarget(const std::string& line) {
+  std::size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos || line[i] != '#') return "";
+  i = line.find_first_not_of(" \t", i + 1);
+  if (i == std::string::npos || line.compare(i, 7, "include") != 0) return "";
+  i = line.find_first_not_of(" \t", i + 7);
+  if (i == std::string::npos || line[i] != '"') return "";
+  const std::size_t close = line.find('"', i + 1);
+  if (close == std::string::npos) return "";
+  return line.substr(i + 1, close - i - 1);
+}
+
+/// Loads "<file> <include>" exception pairs; '#' starts a comment.
+std::set<std::pair<std::string, std::string>> LoadAllowlist(
+    const fs::path& path, bool* ok) {
+  std::set<std::pair<std::string, std::string>> allow;
+  *ok = true;
+  if (path.empty()) return allow;
+  std::ifstream in(path);
+  if (!in) {
+    *ok = false;
+    return allow;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string file, include;
+    if (!(tokens >> file >> include)) continue;  // blank / comment-only
+    allow.emplace(file, include);
+  }
+  return allow;
+}
+
+class Linter {
+ public:
+  Linter(const Options& options,
+         std::set<std::pair<std::string, std::string>> allow)
+      : options_(options), allow_(std::move(allow)) {}
+
+  void LintTree() {
+    const fs::path src = options_.root / "src";
+    for (const char* aux : {"src", "tools", "bench", "examples", "tests"}) {
+      const fs::path dir = options_.root / aux;
+      if (!fs::exists(dir)) continue;
+      std::vector<fs::path> files;
+      for (auto it = fs::recursive_directory_iterator(dir);
+           it != fs::recursive_directory_iterator(); ++it) {
+        // Fixture trees under tests/ are deliberately-broken inputs for
+        // this tool's own self-test; linting them as part of the real tree
+        // would report their planted violations.
+        if (it->is_directory() &&
+            it->path().filename() == "lint_fixtures") {
+          it.disable_recursion_pending();
+          continue;
+        }
+        const auto& entry = *it;
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
+          files.push_back(entry.path());
+        }
+      }
+      std::sort(files.begin(), files.end());  // deterministic report order
+      for (const fs::path& file : files) LintFile(file, src);
+    }
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  void Report(const std::string& file, int line, const std::string& rule,
+              const std::string& message) {
+    violations_.push_back(Violation{file, line, rule, message});
+  }
+
+  void LintFile(const fs::path& path, const fs::path& src) {
+    const std::string rel =
+        fs::relative(path, options_.root).generic_string();
+    const bool in_src = rel.rfind("src/", 0) == 0;
+    // src/<layer>/<file>: the layer whose DAG row applies. Files outside
+    // src/ (tools, bench, examples, tests) are consumers of the whole
+    // library: any layer is fair game, but includes must still resolve.
+    std::string layer;
+    if (in_src) {
+      const std::string below_src = rel.substr(4);
+      layer = LayerOf(below_src);
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+      Report(rel, 0, "io", "cannot open file");
+      return;
+    }
+
+    // Self-first: src/<layer>/foo.cc must include "<layer>/foo.h" first
+    // when that header exists — compiling foo.cc is then the proof that
+    // foo.h is self-contained.
+    std::string expected_self;
+    if (in_src && path.extension() == ".cc") {
+      fs::path self_header = path;
+      self_header.replace_extension(".h");
+      if (fs::exists(self_header)) {
+        expected_self = fs::relative(self_header, src).generic_string();
+      }
+    }
+
+    std::set<std::string> seen;
+    bool first_quoted = true;
+    std::string line;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      const std::string target = QuotedIncludeTarget(line);
+      if (target.empty()) continue;
+
+      if (!seen.insert(target).second && !Allowed(rel, target)) {
+        Report(rel, line_number, "duplicate",
+               "\"" + target + "\" included more than once");
+      }
+
+      if (first_quoted) {
+        first_quoted = false;
+        if (!expected_self.empty() && target != expected_self &&
+            !Allowed(rel, target)) {
+          Report(rel, line_number, "self-first",
+                 "first include is \"" + target + "\", expected own header \"" +
+                     expected_self + "\"");
+        }
+      }
+
+      // Resolution: project includes are rooted at src/; files outside
+      // src/ may also include siblings from their own directory (e.g.
+      // bench/bench_common.h, tests/serve_test_util.h).
+      const bool under_src = fs::exists(src / target);
+      const bool sibling =
+          !in_src && fs::exists(path.parent_path() / target);
+      if (!under_src && !sibling) {
+        if (!Allowed(rel, target)) {
+          Report(rel, line_number, "missing",
+                 "\"" + target + "\" resolves to no file under src/" +
+                     (in_src ? "" : " or next to the includer"));
+        }
+        continue;
+      }
+
+      if (in_src && under_src) {
+        const std::string target_layer = LayerOf(target);
+        const auto row = AllowedIncludes().find(layer);
+        if (row != AllowedIncludes().end() && !target_layer.empty() &&
+            row->second.count(target_layer) == 0 && !Allowed(rel, target)) {
+          Report(rel, line_number, "layer",
+                 "src/" + layer + "/ may not include \"" + target +
+                     "\" (layer " + target_layer +
+                     " is below it in the DAG common <- graph <- truss <- "
+                     "core <- server|influence)");
+        }
+      }
+    }
+  }
+
+  bool Allowed(const std::string& file, const std::string& include) const {
+    return allow_.count({file, include}) > 0;
+  }
+
+  Options options_;
+  std::set<std::pair<std::string, std::string>> allow_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "lint_layering: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root" || arg == "--src-root") {
+      options.root = value(arg.c_str());
+    } else if (arg == "--allowlist") {
+      options.allowlist = value(arg.c_str());
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      std::cerr << "lint_layering: unknown argument " << arg << "\n"
+                << "usage: lint_layering --root <repo_root> "
+                   "[--allowlist <file>] [--quiet]\n";
+      return 2;
+    }
+  }
+  if (options.root.empty()) {
+    std::cerr << "lint_layering: --root is required\n";
+    return 2;
+  }
+  if (!fs::exists(options.root / "src")) {
+    std::cerr << "lint_layering: no src/ under " << options.root << "\n";
+    return 2;
+  }
+
+  bool allowlist_ok = true;
+  auto allow = LoadAllowlist(options.allowlist, &allowlist_ok);
+  if (!allowlist_ok) {
+    std::cerr << "lint_layering: cannot read allowlist " << options.allowlist
+              << "\n";
+    return 2;
+  }
+
+  Linter linter(options, std::move(allow));
+  linter.LintTree();
+
+  for (const Violation& v : linter.violations()) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (!linter.violations().empty()) {
+    std::cerr << linter.violations().size() << " layering violation(s)\n";
+    return 1;
+  }
+  if (!options.quiet) {
+    std::cout << "lint_layering: OK (" << "DAG common <- graph <- truss <- "
+              << "core <- server|influence holds)\n";
+  }
+  return 0;
+}

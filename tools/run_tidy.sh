@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Runs clang-tidy over the library and tools sources using the compile
+# database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS is ON by
+# default in this tree). Checks and per-check rationale live in .clang-tidy;
+# WarningsAsErrors='*' there makes any finding a non-zero exit.
+#
+#   tools/run_tidy.sh [build_dir]       # default build dir: ./build
+#
+# Degrades gracefully: a machine without clang-tidy (the dev container
+# ships GCC only) gets an explicit skip and exit 0, so local `ctest` runs
+# and scripts that call this unconditionally keep working; CI's
+# static-analysis job is the enforcing run. Set TSD_TIDY_REQUIRED=1 to
+# turn the skip into a failure (CI does).
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+tidy="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "${tidy}" >/dev/null 2>&1; then
+  if [ "${TSD_TIDY_REQUIRED:-0}" = "1" ]; then
+    echo "run_tidy: ${tidy} not found and TSD_TIDY_REQUIRED=1" >&2
+    exit 1
+  fi
+  echo "run_tidy: ${tidy} not found; skipping (CI enforces this gate)" >&2
+  exit 0
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "run_tidy: ${build_dir}/compile_commands.json not found." >&2
+  echo "run_tidy: configure first: cmake -B '${build_dir}' -S '${repo_root}'" >&2
+  exit 1
+fi
+
+# Library + tool translation units; tests are exercised at runtime by the
+# suite itself and generated gtest macros trip naming checks.
+files=$(find "${repo_root}/src" "${repo_root}/tools" -name '*.cc' | sort)
+
+echo "run_tidy: $(echo "${files}" | wc -l) files, database ${build_dir}"
+# shellcheck disable=SC2086  # word-splitting the file list is intended
+"${tidy}" -p "${build_dir}" --quiet ${files}
+echo "run_tidy: clean"
