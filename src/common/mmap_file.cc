@@ -1,0 +1,82 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tsd {
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { Reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+void MappedFile::Reset() noexcept {
+  if (mapped_) munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+bool MappedFile::Open(const std::string& path, MappedFile* out,
+                      std::string* error) {
+  out->Reset();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    SetError(error, "cannot open '" + path + "': " + std::strerror(errno));
+    return false;
+  }
+  struct stat st = {};
+  if (fstat(fd, &st) != 0) {
+    SetError(error, "cannot stat '" + path + "': " + std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    SetError(error, "'" + path + "' is not a regular file");
+    ::close(fd);
+    return false;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    // An empty file is a valid (empty) mapping; mmap(0) would fail.
+    ::close(fd);
+    return true;
+  }
+  void* data = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (data == MAP_FAILED) {
+    SetError(error, "cannot mmap '" + path + "': " + std::strerror(errno));
+    return false;
+  }
+  out->data_ = data;
+  out->size_ = size;
+  out->mapped_ = true;
+  return true;
+}
+
+}  // namespace tsd

@@ -1,0 +1,49 @@
+// Read-only memory-mapped file.
+//
+// MappedFile owns one PROT_READ/MAP_PRIVATE mapping of a whole file. The
+// mapping is immutable, so one MappedFile may be shared read-only across
+// threads (and, through the page cache, N processes mapping the same file
+// share one physical copy of the data). Open reports failure by return
+// value — a missing or unmappable file is a clean load failure, never a
+// crash — which is what the snapshot loader (common/snapshot.h) builds on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace tsd {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. On failure returns false and describes why in
+  /// `*error` (when non-null); `*out` is reset either way. Empty files map
+  /// successfully to an empty byte range.
+  [[nodiscard]] static bool Open(const std::string& path, MappedFile* out,
+                                 std::string* error);
+
+  bool valid() const { return data_ != nullptr || size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// The mapped bytes. Valid for the lifetime of this MappedFile.
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+
+ private:
+  void Reset() noexcept;
+
+  void* data_ = nullptr;  // nullptr iff no mapping (size_ == 0)
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace tsd

@@ -246,16 +246,23 @@ std::vector<TopRResult> DynamicTsdIndex::SearchBatch(
 TsdIndex DynamicTsdIndex::Freeze() const {
   TsdIndex index;
   const VertexId n = graph_.num_vertices();
-  index.offsets_.assign(n + 1, 0);
+  std::vector<std::uint64_t> offsets(std::size_t{n} + 1, 0);
+  std::vector<VertexId> edge_u;
+  std::vector<VertexId> edge_v;
+  std::vector<std::uint32_t> weight;
   for (VertexId v = 0; v < n; ++v) {
     for (const ForestEdge& e : forest_[v]) {
-      index.edge_u_.push_back(e.u);
-      index.edge_v_.push_back(e.v);
-      index.weight_.push_back(e.weight);
+      edge_u.push_back(e.u);
+      edge_v.push_back(e.v);
+      weight.push_back(e.weight);
       index.max_weight_ = std::max(index.max_weight_, e.weight);
     }
-    index.offsets_[v + 1] = index.edge_u_.size();
+    offsets[v + 1] = edge_u.size();
   }
+  index.offsets_ = std::move(offsets);
+  index.edge_u_ = std::move(edge_u);
+  index.edge_v_ = std::move(edge_v);
+  index.weight_ = std::move(weight);
   return index;
 }
 

@@ -17,8 +17,25 @@
 namespace tsd {
 namespace {
 
-constexpr std::uint32_t kGctMagic = 0x58544347;  // "GCTX"
-constexpr std::uint32_t kGctVersion = 1;
+// Snapshot section tags for the GCT supernode/superedge arrays ("gctx.*"
+// group).
+constexpr std::uint64_t kGctMetaTag = SnapshotTag("gctx.met");
+constexpr std::uint64_t kGctSnOffsetsTag = SnapshotTag("gctx.sno");
+constexpr std::uint64_t kGctSnTauTag = SnapshotTag("gctx.tau");
+constexpr std::uint64_t kGctMemberOffsetsTag = SnapshotTag("gctx.mof");
+constexpr std::uint64_t kGctMembersTag = SnapshotTag("gctx.mem");
+constexpr std::uint64_t kGctSeOffsetsTag = SnapshotTag("gctx.seo");
+constexpr std::uint64_t kGctSeATag = SnapshotTag("gctx.sea");
+constexpr std::uint64_t kGctSeBTag = SnapshotTag("gctx.seb");
+constexpr std::uint64_t kGctSeWTag = SnapshotTag("gctx.sew");
+
+// Schema version for the "gctx.*" section group (common/snapshot.h policy).
+constexpr std::uint64_t kGctSchemaVersion = 1;
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = "GCT snapshot: " + message;
+  return false;
+}
 
 /// Scratch for one ego-network's Algorithm 8 run, reused across vertices.
 struct SupernodeBuilder {
@@ -189,9 +206,14 @@ GctIndex GctIndex::Build(const Graph& graph, const Options& options) {
   WallTimer total;
   GctIndex index;
   const VertexId n = graph.num_vertices();
-  index.sn_offsets_.assign(n + 1, 0);
-  index.se_offsets_.assign(n + 1, 0);
-  index.member_offsets_.assign(1, 0);
+  std::vector<std::uint32_t> sn_offsets(std::size_t{n} + 1, 0);
+  std::vector<std::uint32_t> se_offsets(std::size_t{n} + 1, 0);
+  std::vector<std::uint32_t> member_offsets(1, 0);
+  std::vector<std::uint32_t> sn_tau;
+  std::vector<VertexId> members;
+  std::vector<std::uint32_t> se_a;
+  std::vector<std::uint32_t> se_b;
+  std::vector<std::uint32_t> se_w;
 
   // Ego-network source: one-shot global listing (Section 6.2) or the
   // per-vertex extractor (ablation). The listing is shared read-only
@@ -246,35 +268,35 @@ GctIndex GctIndex::Build(const Graph& graph, const Options& options) {
     for (std::size_t i = 0; i < chunk.per_vertex_sn_count.size(); ++i) {
       local_sn += chunk.per_vertex_sn_count[i];
       local_se += chunk.per_vertex_se_count[i];
-      index.sn_offsets_[v + 1] =
-          static_cast<std::uint32_t>(sn_cursor + local_sn);
-      index.se_offsets_[v + 1] = static_cast<std::uint32_t>(
-          index.se_w_.size() + local_se);
+      sn_offsets[v + 1] = static_cast<std::uint32_t>(sn_cursor + local_sn);
+      se_offsets[v + 1] = static_cast<std::uint32_t>(se_w.size() + local_se);
       ++v;
     }
     sn_cursor += local_sn;
-    index.sn_tau_.insert(index.sn_tau_.end(), chunk.sn_tau.begin(),
-                         chunk.sn_tau.end());
+    sn_tau.insert(sn_tau.end(), chunk.sn_tau.begin(), chunk.sn_tau.end());
     for (std::uint32_t count : chunk.sn_member_count) {
-      TSD_CHECK_MSG(index.member_offsets_.back() + std::uint64_t{count} <
-                        UINT32_MAX,
+      TSD_CHECK_MSG(member_offsets.back() + std::uint64_t{count} < UINT32_MAX,
                     "GCT member array overflows 32-bit offsets");
-      index.member_offsets_.push_back(index.member_offsets_.back() + count);
+      member_offsets.push_back(member_offsets.back() + count);
     }
-    index.members_.insert(index.members_.end(), chunk.members.begin(),
-                          chunk.members.end());
-    index.se_a_.insert(index.se_a_.end(), chunk.se_a.begin(),
-                       chunk.se_a.end());
-    index.se_b_.insert(index.se_b_.end(), chunk.se_b.begin(),
-                       chunk.se_b.end());
-    index.se_w_.insert(index.se_w_.end(), chunk.se_w.begin(),
-                       chunk.se_w.end());
+    members.insert(members.end(), chunk.members.begin(), chunk.members.end());
+    se_a.insert(se_a.end(), chunk.se_a.begin(), chunk.se_a.end());
+    se_b.insert(se_b.end(), chunk.se_b.begin(), chunk.se_b.end());
+    se_w.insert(se_w.end(), chunk.se_w.begin(), chunk.se_w.end());
     index.max_trussness_ = std::max(index.max_trussness_, chunk.max_trussness);
     index.build_stats_.extraction_seconds += chunk.extraction_seconds;
     index.build_stats_.decomposition_seconds += chunk.decomposition_seconds;
     index.build_stats_.assembly_seconds += chunk.assembly_seconds;
   }
   TSD_CHECK(v == n);
+  index.sn_offsets_ = std::move(sn_offsets);
+  index.sn_tau_ = std::move(sn_tau);
+  index.member_offsets_ = std::move(member_offsets);
+  index.members_ = std::move(members);
+  index.se_offsets_ = std::move(se_offsets);
+  index.se_a_ = std::move(se_a);
+  index.se_b_ = std::move(se_b);
+  index.se_w_ = std::move(se_w);
   index.build_stats_.total_seconds = total.Seconds();
   return index;
 }
@@ -435,37 +457,130 @@ std::size_t GctIndex::SizeBytes() const {
 }
 
 void GctIndex::Save(const std::string& path) const {
-  BinaryWriter writer(path);
-  writer.WriteHeader(kGctMagic, kGctVersion);
-  writer.WriteVector(sn_offsets_);
-  writer.WriteVector(sn_tau_);
-  writer.WriteVector(member_offsets_);
-  writer.WriteVector(members_);
-  writer.WriteVector(se_offsets_);
-  writer.WriteVector(se_a_);
-  writer.WriteVector(se_b_);
-  writer.WriteVector(se_w_);
-  writer.WritePod(max_trussness_);
+  SnapshotWriter writer(path);
+  AppendToSnapshot(writer);
   writer.Finish();
 }
 
 GctIndex GctIndex::Load(const std::string& path) {
-  BinaryReader reader(path);
-  reader.ExpectHeader(kGctMagic, kGctVersion);
+  SnapshotReader reader;
+  std::string error;
+  TSD_CHECK_MSG(SnapshotReader::Open(path, &reader, &error), error);
   GctIndex index;
-  index.sn_offsets_ = reader.ReadVector<std::uint32_t>();
-  index.sn_tau_ = reader.ReadVector<std::uint32_t>();
-  index.member_offsets_ = reader.ReadVector<std::uint32_t>();
-  index.members_ = reader.ReadVector<VertexId>();
-  index.se_offsets_ = reader.ReadVector<std::uint32_t>();
-  index.se_a_ = reader.ReadVector<std::uint32_t>();
-  index.se_b_ = reader.ReadVector<std::uint32_t>();
-  index.se_w_ = reader.ReadVector<std::uint32_t>();
-  index.max_trussness_ = reader.ReadPod<std::uint32_t>();
-  TSD_CHECK_MSG(!index.sn_offsets_.empty() && !index.se_offsets_.empty(),
-                "corrupt GCT index");
-  index.CheckInvariants();
+  TSD_CHECK_MSG(LoadFromSnapshot(reader, &index, &error), error);
   return index;
+}
+
+void GctIndex::AppendToSnapshot(SnapshotWriter& writer) const {
+  const std::uint64_t meta[] = {kGctSchemaVersion, num_vertices(),
+                                max_trussness_};
+  writer.AddScalars(kGctMetaTag, meta);
+  writer.AddArray(kGctSnOffsetsTag, sn_offsets_.span());
+  writer.AddArray(kGctSnTauTag, sn_tau_.span());
+  writer.AddArray(kGctMemberOffsetsTag, member_offsets_.span());
+  writer.AddArray(kGctMembersTag, members_.span());
+  writer.AddArray(kGctSeOffsetsTag, se_offsets_.span());
+  writer.AddArray(kGctSeATag, se_a_.span());
+  writer.AddArray(kGctSeBTag, se_b_.span());
+  writer.AddArray(kGctSeWTag, se_w_.span());
+}
+
+bool GctIndex::LoadFromSnapshot(const SnapshotReader& reader, GctIndex* out,
+                                std::string* error) {
+  *out = GctIndex();
+
+  std::uint64_t meta[3] = {};
+  if (!reader.ReadScalars(kGctMetaTag, meta, error)) return false;
+  if (meta[0] != kGctSchemaVersion) {
+    return Fail(error, "unsupported GCT schema version " +
+                           std::to_string(meta[0]) + " (this build reads " +
+                           std::to_string(kGctSchemaVersion) + ")");
+  }
+  if (meta[1] > kInvalidVertex) return Fail(error, "vertex count overflow");
+  const auto n = static_cast<VertexId>(meta[1]);
+  const auto max_trussness = static_cast<std::uint32_t>(meta[2]);
+
+  std::span<const std::uint32_t> sn_offsets;
+  std::span<const std::uint32_t> sn_tau;
+  std::span<const std::uint32_t> member_offsets;
+  std::span<const VertexId> members;
+  std::span<const std::uint32_t> se_offsets;
+  std::span<const std::uint32_t> se_a;
+  std::span<const std::uint32_t> se_b;
+  std::span<const std::uint32_t> se_w;
+  if (!reader.Read(kGctSnOffsetsTag, &sn_offsets, error) ||
+      !reader.Read(kGctSnTauTag, &sn_tau, error) ||
+      !reader.Read(kGctMemberOffsetsTag, &member_offsets, error) ||
+      !reader.Read(kGctMembersTag, &members, error) ||
+      !reader.Read(kGctSeOffsetsTag, &se_offsets, error) ||
+      !reader.Read(kGctSeATag, &se_a, error) ||
+      !reader.Read(kGctSeBTag, &se_b, error) ||
+      !reader.Read(kGctSeWTag, &se_w, error)) {
+    return false;
+  }
+
+  // Cheap structural pre-checks: sizes, monotone offsets, and bounds, so
+  // that CheckInvariants below (which trusts offset arithmetic) cannot be
+  // driven out of range or into an attacker-sized allocation.
+  if (sn_offsets.size() != std::size_t{n} + 1 ||
+      se_offsets.size() != std::size_t{n} + 1) {
+    return Fail(error, "offsets size mismatch");
+  }
+  if (member_offsets.size() != sn_tau.size() + 1) {
+    return Fail(error, "member offsets size mismatch");
+  }
+  if (se_a.size() != se_w.size() || se_b.size() != se_w.size()) {
+    return Fail(error, "superedge arrays size mismatch");
+  }
+  if (sn_offsets[0] != 0 || sn_offsets[n] != sn_tau.size() ||
+      se_offsets[0] != 0 || se_offsets[n] != se_w.size() ||
+      member_offsets[0] != 0 || member_offsets.back() != members.size()) {
+    return Fail(error, "offsets do not span their arrays");
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (sn_offsets[v] > sn_offsets[v + 1] ||
+        se_offsets[v] > se_offsets[v + 1]) {
+      return Fail(error, "offsets not monotone");
+    }
+  }
+  for (std::size_t i = 0; i + 1 < member_offsets.size(); ++i) {
+    if (member_offsets[i] > member_offsets[i + 1]) {
+      return Fail(error, "member offsets not monotone");
+    }
+  }
+  std::uint32_t seen_max_trussness = 0;
+  for (const std::uint32_t tau : sn_tau) {
+    seen_max_trussness = std::max(seen_max_trussness, tau);
+  }
+  if (seen_max_trussness != max_trussness) {
+    return Fail(error, "max trussness mismatch");
+  }
+  for (const VertexId member : members) {
+    if (member >= n) return Fail(error, "member vertex out of range");
+  }
+
+  GctIndex index;
+  index.sn_offsets_.BindView(sn_offsets);
+  index.sn_tau_.BindView(sn_tau);
+  index.member_offsets_.BindView(member_offsets);
+  index.members_.BindView(members);
+  index.se_offsets_.BindView(se_offsets);
+  index.se_a_.BindView(se_a);
+  index.se_b_.BindView(se_b);
+  index.se_w_.BindView(se_w);
+  index.max_trussness_ = max_trussness;
+  index.mapping_ = reader.mapping();
+
+  // The deep semantic invariants (slice ordering, superedge weights, forest
+  // acyclicity) are shared with the build-time checker; translate its CHECK
+  // failures into this API's error-return discipline.
+  try {
+    index.CheckInvariants();
+  } catch (const CheckError& e) {
+    return Fail(error, e.what());
+  }
+  *out = std::move(index);
+  return true;
 }
 
 void GctIndex::CheckInvariants() const {
@@ -477,6 +592,9 @@ void GctIndex::CheckInvariants() const {
   TSD_CHECK(se_offsets_.back() == se_w_.size());
   TSD_CHECK(se_a_.size() == se_w_.size() && se_b_.size() == se_w_.size());
 
+  // One union-find arena reused across vertices; a fresh DisjointSet per
+  // vertex would make this pass allocation-bound on large graphs.
+  DisjointSet forest;
   for (VertexId v = 0; v < n; ++v) {
     const auto sn_begin = sn_offsets_[v];
     const auto sn_end = sn_offsets_[v + 1];
@@ -490,7 +608,7 @@ void GctIndex::CheckInvariants() const {
       TSD_CHECK_MSG(sn_tau_[i] >= 2, "supernode trussness below 2");
       TSD_CHECK(member_offsets_[i + 1] > member_offsets_[i]);
     }
-    DisjointSet forest(num_sn);
+    forest.Reset(num_sn);
     const auto se_begin = se_offsets_[v];
     const auto se_end = se_offsets_[v + 1];
     for (auto i = se_begin; i < se_end; ++i) {

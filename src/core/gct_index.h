@@ -16,9 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
+#include "common/mmap_file.h"
+#include "common/snapshot.h"
 #include "core/query_scratch.h"
 #include "core/query_session.h"
 #include "core/scoring.h"
@@ -102,8 +105,24 @@ class GctIndex : public DiversitySearcher {
   std::size_t SizeBytes() const;
   IndexBuildStats build_stats() const { return build_stats_; }
 
+  /// Saves a single-object snapshot (common/snapshot.h container) holding
+  /// just this index. Load() throws tsd::CheckError on any malformed file —
+  /// legacy semantics kept for callers that treat the path as trusted.
   void Save(const std::string& path) const;
   static GctIndex Load(const std::string& path);
+
+  /// Writes the supernode/superedge arrays into an open snapshot ("gctx.*"
+  /// tags), for combined files that also carry the graph and/or the TSD.
+  void AppendToSnapshot(SnapshotWriter& writer) const;
+
+  /// Binds an index to the "gctx.*" sections of a mapped snapshot —
+  /// zero-copy, validated; false + `*error` on any inconsistency.
+  [[nodiscard]] static bool LoadFromSnapshot(const SnapshotReader& reader,
+                                             GctIndex* out,
+                                             std::string* error);
+
+  /// True when the index arrays are views into a mapped snapshot.
+  bool is_mapped() const { return mapping_ != nullptr; }
 
   /// Internal invariant check, exposed for tests: verifies per-vertex
   /// supernode/superedge ordering, forest acyclicity, and that superedge
@@ -115,20 +134,22 @@ class GctIndex : public DiversitySearcher {
   // trussness descending (ties: ascending smallest member). All offset
   // arrays are 32-bit — the totals are bounded by 2m, which the build
   // checks — which is what makes GCT the compact index of the pair.
-  std::vector<std::uint32_t> sn_offsets_;      // size n+1, into sn_tau_
-  std::vector<std::uint32_t> sn_tau_;          // trussness per supernode
-  std::vector<std::uint32_t> member_offsets_;  // size |sn_tau_|+1
-  std::vector<VertexId> members_;              // sorted global ids
+  FlatArray<std::uint32_t> sn_offsets_;      // size n+1, into sn_tau_
+  FlatArray<std::uint32_t> sn_tau_;          // trussness per supernode
+  FlatArray<std::uint32_t> member_offsets_;  // size |sn_tau_|+1
+  FlatArray<VertexId> members_;              // sorted global ids
 
   // Superedges, flattened vertex-major; each slice sorted by weight
   // descending. Endpoints are indices into the vertex's supernode slice.
-  std::vector<std::uint32_t> se_offsets_;  // size n+1
-  std::vector<std::uint32_t> se_a_;
-  std::vector<std::uint32_t> se_b_;
-  std::vector<std::uint32_t> se_w_;
+  FlatArray<std::uint32_t> se_offsets_;  // size n+1
+  FlatArray<std::uint32_t> se_a_;
+  FlatArray<std::uint32_t> se_b_;
+  FlatArray<std::uint32_t> se_w_;
 
   std::uint32_t max_trussness_ = 0;
   IndexBuildStats build_stats_;
+  // Keeps the snapshot mapping alive while the arrays view into it.
+  std::shared_ptr<const MappedFile> mapping_;
 };
 
 }  // namespace tsd

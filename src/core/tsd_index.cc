@@ -16,8 +16,20 @@
 namespace tsd {
 namespace {
 
-constexpr std::uint32_t kTsdMagic = 0x58445354;  // "TSDX"
-constexpr std::uint32_t kTsdVersion = 1;
+// Snapshot section tags for the TSD forest ("tsdx.*" group).
+constexpr std::uint64_t kTsdMetaTag = SnapshotTag("tsdx.met");
+constexpr std::uint64_t kTsdOffsetsTag = SnapshotTag("tsdx.off");
+constexpr std::uint64_t kTsdEdgeUTag = SnapshotTag("tsdx.edu");
+constexpr std::uint64_t kTsdEdgeVTag = SnapshotTag("tsdx.edv");
+constexpr std::uint64_t kTsdWeightTag = SnapshotTag("tsdx.wgt");
+
+// Schema version for the "tsdx.*" section group (common/snapshot.h policy).
+constexpr std::uint64_t kTsdSchemaVersion = 1;
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = "TSD snapshot: " + message;
+  return false;
+}
 
 /// Per-chunk build output: forest edge arrays plus per-vertex counts, so
 /// chunks concatenate in order into the final flat index.
@@ -39,7 +51,10 @@ TsdIndex TsdIndex::Build(const Graph& graph, const Options& options) {
   WallTimer total;
   TsdIndex index;
   const VertexId n = graph.num_vertices();
-  index.offsets_.assign(n + 1, 0);
+  std::vector<std::uint64_t> offsets(std::size_t{n} + 1, 0);
+  std::vector<VertexId> edge_u;
+  std::vector<VertexId> edge_v;
+  std::vector<std::uint32_t> weight;
 
   const std::uint32_t num_chunks =
       EffectiveChunks(ParallelConfig{options.num_threads, 0}, n);
@@ -84,21 +99,22 @@ TsdIndex TsdIndex::Build(const Graph& graph, const Options& options) {
   VertexId v = 0;
   for (TsdChunk& chunk : chunks) {
     for (std::uint32_t count : chunk.per_vertex_count) {
-      index.offsets_[v + 1] = index.offsets_[v] + count;
+      offsets[v + 1] = offsets[v] + count;
       ++v;
     }
-    index.edge_u_.insert(index.edge_u_.end(), chunk.edge_u.begin(),
-                         chunk.edge_u.end());
-    index.edge_v_.insert(index.edge_v_.end(), chunk.edge_v.begin(),
-                         chunk.edge_v.end());
-    index.weight_.insert(index.weight_.end(), chunk.weight.begin(),
-                         chunk.weight.end());
+    edge_u.insert(edge_u.end(), chunk.edge_u.begin(), chunk.edge_u.end());
+    edge_v.insert(edge_v.end(), chunk.edge_v.begin(), chunk.edge_v.end());
+    weight.insert(weight.end(), chunk.weight.begin(), chunk.weight.end());
     index.max_weight_ = std::max(index.max_weight_, chunk.max_weight);
     index.build_stats_.extraction_seconds += chunk.extraction_seconds;
     index.build_stats_.decomposition_seconds += chunk.decomposition_seconds;
     index.build_stats_.assembly_seconds += chunk.assembly_seconds;
   }
   TSD_CHECK(v == n);
+  index.offsets_ = std::move(offsets);
+  index.edge_u_ = std::move(edge_u);
+  index.edge_v_ = std::move(edge_v);
+  index.weight_ = std::move(weight);
   index.build_stats_.total_seconds = total.Seconds();
   return index;
 }
@@ -326,31 +342,94 @@ std::size_t TsdIndex::SizeBytes() const {
 }
 
 void TsdIndex::Save(const std::string& path) const {
-  BinaryWriter writer(path);
-  writer.WriteHeader(kTsdMagic, kTsdVersion);
-  writer.WriteVector(offsets_);
-  writer.WriteVector(edge_u_);
-  writer.WriteVector(edge_v_);
-  writer.WriteVector(weight_);
-  writer.WritePod(max_weight_);
+  SnapshotWriter writer(path);
+  AppendToSnapshot(writer);
   writer.Finish();
 }
 
 TsdIndex TsdIndex::Load(const std::string& path) {
-  BinaryReader reader(path);
-  reader.ExpectHeader(kTsdMagic, kTsdVersion);
+  SnapshotReader reader;
+  std::string error;
+  TSD_CHECK_MSG(SnapshotReader::Open(path, &reader, &error), error);
   TsdIndex index;
-  index.offsets_ = reader.ReadVector<std::uint64_t>();
-  index.edge_u_ = reader.ReadVector<VertexId>();
-  index.edge_v_ = reader.ReadVector<VertexId>();
-  index.weight_ = reader.ReadVector<std::uint32_t>();
-  index.max_weight_ = reader.ReadPod<std::uint32_t>();
-  TSD_CHECK_MSG(!index.offsets_.empty(), "corrupt TSD index");
-  TSD_CHECK_MSG(index.edge_u_.size() == index.edge_v_.size() &&
-                    index.edge_u_.size() == index.weight_.size() &&
-                    index.offsets_.back() == index.edge_u_.size(),
-                "corrupt TSD index: inconsistent arrays");
+  TSD_CHECK_MSG(LoadFromSnapshot(reader, &index, &error), error);
   return index;
+}
+
+void TsdIndex::AppendToSnapshot(SnapshotWriter& writer) const {
+  const std::uint64_t meta[] = {kTsdSchemaVersion, num_vertices(),
+                                max_weight_};
+  writer.AddScalars(kTsdMetaTag, meta);
+  writer.AddArray(kTsdOffsetsTag, offsets_.span());
+  writer.AddArray(kTsdEdgeUTag, edge_u_.span());
+  writer.AddArray(kTsdEdgeVTag, edge_v_.span());
+  writer.AddArray(kTsdWeightTag, weight_.span());
+}
+
+bool TsdIndex::LoadFromSnapshot(const SnapshotReader& reader, TsdIndex* out,
+                                std::string* error) {
+  *out = TsdIndex();
+
+  std::uint64_t meta[3] = {};
+  if (!reader.ReadScalars(kTsdMetaTag, meta, error)) return false;
+  if (meta[0] != kTsdSchemaVersion) {
+    return Fail(error, "unsupported TSD schema version " +
+                           std::to_string(meta[0]) + " (this build reads " +
+                           std::to_string(kTsdSchemaVersion) + ")");
+  }
+  if (meta[1] > kInvalidVertex) return Fail(error, "vertex count overflow");
+  const auto n = static_cast<VertexId>(meta[1]);
+  const auto max_weight = static_cast<std::uint32_t>(meta[2]);
+
+  std::span<const std::uint64_t> offsets;
+  std::span<const VertexId> edge_u;
+  std::span<const VertexId> edge_v;
+  std::span<const std::uint32_t> weight;
+  if (!reader.Read(kTsdOffsetsTag, &offsets, error) ||
+      !reader.Read(kTsdEdgeUTag, &edge_u, error) ||
+      !reader.Read(kTsdEdgeVTag, &edge_v, error) ||
+      !reader.Read(kTsdWeightTag, &weight, error)) {
+    return false;
+  }
+
+  if (offsets.size() != std::size_t{n} + 1) {
+    return Fail(error, "offsets size mismatch");
+  }
+  const std::size_t total = weight.size();
+  if (edge_u.size() != total || edge_v.size() != total) {
+    return Fail(error, "forest arrays size mismatch");
+  }
+  if (offsets[0] != 0 || offsets[n] != total) {
+    return Fail(error, "offsets do not span the forest arrays");
+  }
+  std::uint32_t seen_max_weight = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Fail(error, "offsets not monotone");
+    }
+    for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (edge_u[i] >= n || edge_v[i] >= n) {
+        return Fail(error, "forest endpoint out of range");
+      }
+      // Per-slice weight order is what Score's early exit and
+      // ScoreUpperBound's partition_point rely on.
+      if (i > offsets[v] && weight[i - 1] < weight[i]) {
+        return Fail(error, "forest slice not sorted by weight descending");
+      }
+      seen_max_weight = std::max(seen_max_weight, weight[i]);
+    }
+  }
+  if (seen_max_weight != max_weight) {
+    return Fail(error, "max weight mismatch");
+  }
+
+  out->offsets_.BindView(offsets);
+  out->edge_u_.BindView(edge_u);
+  out->edge_v_.BindView(edge_v);
+  out->weight_.BindView(weight);
+  out->max_weight_ = max_weight;
+  out->mapping_ = reader.mapping();
+  return true;
 }
 
 }  // namespace tsd

@@ -16,9 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 
+#include "common/mmap_file.h"
+#include "common/snapshot.h"
 #include "core/query_scratch.h"
 #include "core/query_session.h"
 #include "core/scoring.h"
@@ -115,20 +118,38 @@ class TsdIndex : public DiversitySearcher {
   /// Maximum forest edge weight anywhere (== max ego-network trussness).
   std::uint32_t max_weight() const { return max_weight_; }
 
+  /// Saves a single-object snapshot (common/snapshot.h container) holding
+  /// just this index. Load() throws tsd::CheckError on any malformed file —
+  /// legacy semantics kept for callers that treat the path as trusted.
   void Save(const std::string& path) const;
   static TsdIndex Load(const std::string& path);
+
+  /// Writes the forest arrays into an open snapshot ("tsdx.*" tags), for
+  /// combined files that also carry the graph and/or other indexes.
+  void AppendToSnapshot(SnapshotWriter& writer) const;
+
+  /// Binds an index to the "tsdx.*" sections of a mapped snapshot —
+  /// zero-copy, validated; false + `*error` on any inconsistency.
+  [[nodiscard]] static bool LoadFromSnapshot(const SnapshotReader& reader,
+                                             TsdIndex* out,
+                                             std::string* error);
+
+  /// True when the forest arrays are views into a mapped snapshot.
+  bool is_mapped() const { return mapping_ != nullptr; }
 
  private:
   friend class DynamicTsdIndex;
 
   // Per-vertex forest edges, flattened; each vertex's slice is sorted by
   // weight descending. Endpoints are global vertex ids.
-  std::vector<std::uint64_t> offsets_;  // size n+1
-  std::vector<VertexId> edge_u_;
-  std::vector<VertexId> edge_v_;
-  std::vector<std::uint32_t> weight_;
+  FlatArray<std::uint64_t> offsets_;  // size n+1
+  FlatArray<VertexId> edge_u_;
+  FlatArray<VertexId> edge_v_;
+  FlatArray<std::uint32_t> weight_;
   std::uint32_t max_weight_ = 0;
   IndexBuildStats build_stats_;
+  // Keeps the snapshot mapping alive while the arrays view into it.
+  std::shared_ptr<const MappedFile> mapping_;
 };
 
 }  // namespace tsd

@@ -77,7 +77,8 @@ void SaveGraphBinary(const Graph& graph, const std::string& path) {
   BinaryWriter writer(path);
   writer.WriteHeader(kGraphMagic, kGraphVersion);
   writer.WritePod<std::uint64_t>(graph.num_vertices());
-  std::vector<Edge> edges = graph.edges();
+  const auto edge_span = graph.edges();
+  std::vector<Edge> edges(edge_span.begin(), edge_span.end());
   writer.WriteVector(edges);
   writer.Finish();
 }

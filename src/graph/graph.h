@@ -8,11 +8,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mmap_file.h"
+#include "common/snapshot.h"
 
 namespace tsd {
 
@@ -71,7 +75,7 @@ class Graph {
   }
 
   /// All edges, ordered by (u, v).
-  const std::vector<Edge>& edges() const { return edges_; }
+  std::span<const Edge> edges() const { return edges_.span(); }
 
   /// True iff {u, v} is an edge. O(log d(u)) via binary search.
   bool HasEdge(VertexId u, VertexId v) const {
@@ -84,22 +88,39 @@ class Graph {
   std::uint32_t max_degree() const { return max_degree_; }
 
   /// Raw CSR arrays, for algorithm kernels that operate on CSR views.
-  std::span<const std::uint64_t> offsets() const { return offsets_; }
-  std::span<const VertexId> adjacency() const { return adj_; }
-  std::span<const EdgeId> adjacency_edge_ids() const { return adj_edge_ids_; }
+  std::span<const std::uint64_t> offsets() const { return offsets_.span(); }
+  std::span<const VertexId> adjacency() const { return adj_.span(); }
+  std::span<const EdgeId> adjacency_edge_ids() const {
+    return adj_edge_ids_.span();
+  }
 
   /// Total adjacency memory in bytes (for reporting "graph size").
   std::size_t MemoryBytes() const;
+
+  /// Writes the CSR arrays into a snapshot under the "graf.*" tags.
+  void AppendToSnapshot(SnapshotWriter& writer) const;
+
+  /// Binds a graph to the "graf.*" sections of a mapped snapshot. Zero-copy:
+  /// the loaded graph references the mapping (and keeps it alive) instead of
+  /// copying the arrays. All structural invariants are validated; on failure
+  /// returns false with a diagnostic in `*error`.
+  [[nodiscard]] static bool LoadFromSnapshot(const SnapshotReader& reader,
+                                             Graph* out, std::string* error);
+
+  /// True when the CSR arrays are views into a mapped snapshot.
+  bool is_mapped() const { return mapping_ != nullptr; }
 
  private:
   friend class GraphBuilder;
 
   VertexId num_vertices_ = 0;
   std::uint32_t max_degree_ = 0;
-  std::vector<std::uint64_t> offsets_;  // size n+1
-  std::vector<VertexId> adj_;           // size 2m, sorted per vertex
-  std::vector<EdgeId> adj_edge_ids_;    // size 2m, parallel to adj_
-  std::vector<Edge> edges_;             // size m, sorted by (u, v)
+  FlatArray<std::uint64_t> offsets_;  // size n+1
+  FlatArray<VertexId> adj_;           // size 2m, sorted per vertex
+  FlatArray<EdgeId> adj_edge_ids_;    // size 2m, parallel to adj_
+  FlatArray<Edge> edges_;             // size m, sorted by (u, v)
+  // Keeps the snapshot mapping alive while the arrays view into it.
+  std::shared_ptr<const MappedFile> mapping_;
 };
 
 /// Incremental edge accumulator producing an immutable Graph.

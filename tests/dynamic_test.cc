@@ -63,7 +63,7 @@ TEST(DynamicGraphTest, ConversionRoundTrip) {
   DynamicGraph dynamic(original);
   EXPECT_EQ(dynamic.num_edges(), original.num_edges());
   Graph back = dynamic.ToGraph();
-  EXPECT_EQ(back.edges(), original.edges());
+  EXPECT_TRUE(std::ranges::equal(back.edges(), original.edges()));
 }
 
 TEST(DynamicGraphTest, AddVertexGrows) {

@@ -5,14 +5,16 @@
 //                                       bound|comp|core]
 //   tsdtool batch  <edge-list> --k=4,6,8 [--r=10] [--method=gct]
 //   tsdtool score  <edge-list> --v=<id> [--k=3]    one vertex + contexts
-//   tsdtool build  <edge-list> --out=<index> [--index=gct|tsd]
-//   tsdtool query  --index-file=<index> [--k=3] [--r=10] [--index=gct|tsd]
+//   tsdtool build  <edge-list> --out=<snap> [--index=gct|tsd|both]
+//   tsdtool query  --index-file=<snap> [--k=3] [--r=10] [--index=gct|tsd]
 //   tsdtool gen    --out=<file> [--model=hk|ba|er|rmat] [--n=10000] ...
 //   tsdtool serve  <edge-list> --stdin-proto [--method=gct]  query server
 //   tsdtool serve  <edge-list> --listen=PORT [--method=gct]  socket server
 //   tsdtool client --connect=HOST:PORT [--stats] [--shutdown] socket client
 //
-// Edge lists are SNAP-style text ("u v" per line, '#' comments).
+// Edge lists are SNAP-style text ("u v" per line, '#' comments). The graph
+// commands alternatively take --index=<snapshot> to mmap a file written by
+// `build` instead of re-reading and re-indexing the edge list.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -23,6 +25,7 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/snapshot.h"
 #include "common/strings.h"
 #include "common/table.h"
 #include "common/timer.h"
@@ -63,8 +66,10 @@ int Usage() {
       "                                            per-query values)\n"
       "  score <edge-list> --v=<id> [--k=3]        score + contexts of one "
       "vertex\n"
-      "  build <edge-list> --out=<file> [--index=gct] [--threads=1]\n"
-      "                                            build + save an index\n"
+      "  build <edge-list> --out=<file> [--index=gct|tsd|both] [--threads=1]\n"
+      "                                            build graph + index and\n"
+      "                                            save one mmap-ready\n"
+      "                                            snapshot file\n"
       "  query --index-file=<file> [--index=gct] [--k=3] [--r=10] "
       "[--threads=1]\n"
       "                                            query a saved index\n"
@@ -109,6 +114,14 @@ int Usage() {
       "                                            --stdin-proto for the\n"
       "                                            same script\n"
       "methods: gct tsd online bound comp core\n"
+      "stats/topr/batch/score/serve also take --index=<snapshot>: the graph\n"
+      "(and any tsd/gct index the file carries) is mmap-bound zero-copy\n"
+      "instead of rebuilt — N processes serving one snapshot share one\n"
+      "physical copy through the page cache. The edge-list argument becomes\n"
+      "optional; when both are given and the snapshot cannot be loaded (bad\n"
+      "version, corruption), a warning goes to stderr and the command falls\n"
+      "back to rebuilding from the edge list. Output is byte-identical\n"
+      "either way.\n"
       "--threads=N runs the query pipeline on N workers — including the\n"
       "preprocessing stages: the global truss decomposition behind stats and\n"
       "the bound method, triangle counting, and index construction (build).\n"
@@ -154,6 +167,60 @@ void PrintTopR(const TopRResult& result, bool contexts,
   }
 }
 
+/// The graph a command runs on, plus any indexes that came bound zero-copy
+/// from a --index=<snapshot> mapping (null when the snapshot lacks that
+/// group or the graph was rebuilt from the edge list).
+struct GraphSource {
+  Graph graph;
+  std::unique_ptr<TsdIndex> tsd;
+  std::unique_ptr<GctIndex> gct;
+};
+
+/// Resolves the graph for a graph-backed command: the --index=<snapshot>
+/// mmap fast path when given (binding whatever indexes the file carries),
+/// falling back LOUDLY to the positional edge list when the snapshot cannot
+/// be used — a snapshot is a cache, never the source of truth.
+GraphSource LoadGraphSource(const Flags& flags) {
+  GraphSource source;
+  const std::string snap = flags.GetString("index", "");
+  const bool have_edge_list = flags.positional().size() >= 2;
+  if (!snap.empty()) {
+    std::string error;
+    SnapshotReader reader;
+    WallTimer timer;
+    if (SnapshotReader::Open(snap, &reader, &error) &&
+        Graph::LoadFromSnapshot(reader, &source.graph, &error)) {
+      // Bind whichever index groups the snapshot carries; absence is fine
+      // (the file was built with the other --index kind).
+      auto tsd = std::make_unique<TsdIndex>();
+      if (TsdIndex::LoadFromSnapshot(reader, tsd.get(), nullptr)) {
+        source.tsd = std::move(tsd);
+      }
+      auto gct = std::make_unique<GctIndex>();
+      if (GctIndex::LoadFromSnapshot(reader, gct.get(), nullptr)) {
+        source.gct = std::move(gct);
+      }
+      std::cerr << "snapshot: mapped " << HumanBytes(reader.file_size())
+                << " from " << snap << " (graph"
+                << (source.tsd ? " + tsd" : "")
+                << (source.gct ? " + gct" : "") << ") in "
+                << HumanSeconds(timer.Seconds()) << "\n";
+      return source;
+    }
+    TSD_CHECK_MSG(have_edge_list,
+                  "cannot load snapshot '"
+                      << snap << "' (" << error
+                      << ") and no edge list was given to rebuild from");
+    std::cerr << "warning: cannot load snapshot '" << snap << "': " << error
+              << "\nwarning: falling back to rebuild from '"
+              << flags.positional()[1] << "'\n";
+  }
+  TSD_CHECK_MSG(have_edge_list, "this command needs an <edge-list> argument "
+                                "or --index=<snapshot>");
+  source.graph = LoadEdgeListText(flags.positional()[1]);
+  return source;
+}
+
 /// A searcher plus the index that may back it, built from --method.
 /// `active` is null when the method name is unknown.
 struct SearcherHolder {
@@ -163,16 +230,21 @@ struct SearcherHolder {
   DiversitySearcher* active = nullptr;
 };
 
-SearcherHolder MakeSearcher(const Graph& g, const std::string& method) {
+/// Builds the --method searcher, preferring an index already bound from a
+/// mapped snapshot (moved out of `source`) over rebuilding it.
+SearcherHolder MakeSearcher(GraphSource& source, const std::string& method) {
+  const Graph& g = source.graph;
   SearcherHolder holder;
   if (method == "online") {
     holder.searcher = std::make_unique<OnlineSearcher>(g);
   } else if (method == "bound") {
     holder.searcher = std::make_unique<BoundSearcher>(g);
   } else if (method == "tsd") {
-    holder.tsd = std::make_unique<TsdIndex>(TsdIndex::Build(g));
+    holder.tsd = source.tsd ? std::move(source.tsd)
+                            : std::make_unique<TsdIndex>(TsdIndex::Build(g));
   } else if (method == "gct") {
-    holder.gct = std::make_unique<GctIndex>(GctIndex::Build(g));
+    holder.gct = source.gct ? std::move(source.gct)
+                            : std::make_unique<GctIndex>(GctIndex::Build(g));
   } else if (method == "comp") {
     holder.searcher = std::make_unique<CompDivSearcher>(g);
   } else if (method == "core") {
@@ -251,12 +323,13 @@ int RunStats(const Graph& g, const Flags& flags) {
   return 0;
 }
 
-int RunTopR(const Graph& g, const Flags& flags) {
+int RunTopR(GraphSource& source, const Flags& flags) {
+  const Graph& g = source.graph;
   const auto k = static_cast<std::uint32_t>(flags.GetInt("k", 3));
   const auto r = static_cast<std::uint32_t>(flags.GetInt("r", 10));
   const std::string method = flags.GetString("method", "gct");
 
-  SearcherHolder holder = MakeSearcher(g, method);
+  SearcherHolder holder = MakeSearcher(source, method);
   if (holder.active == nullptr) return Usage();
   holder.active->set_query_options(QueryOptionsFromFlags(flags));
   std::cout << "method: " << holder.active->name() << " k=" << k
@@ -267,7 +340,8 @@ int RunTopR(const Graph& g, const Flags& flags) {
   return 0;
 }
 
-int RunBatch(const Graph& g, const Flags& flags) {
+int RunBatch(GraphSource& source, const Flags& flags) {
+  const Graph& g = source.graph;
   TSD_CHECK_MSG(flags.Has("k"), "batch requires --k=<k1,k2,...>");
   const std::vector<std::uint32_t> ks =
       ParseUintList(flags.GetString("k", ""));
@@ -286,7 +360,7 @@ int RunBatch(const Graph& g, const Flags& flags) {
     queries.push_back(query);
   }
 
-  SearcherHolder holder = MakeSearcher(g, flags.GetString("method", "gct"));
+  SearcherHolder holder = MakeSearcher(source, flags.GetString("method", "gct"));
   if (holder.active == nullptr) return Usage();
   holder.active->set_query_options(QueryOptionsFromFlags(flags));
   std::cout << "method: " << holder.active->name() << " batch of "
@@ -347,26 +421,35 @@ int RunBuild(const Graph& g, const Flags& flags) {
   TSD_CHECK_MSG(flags.Has("out"), "build requires --out=<file>");
   const std::string out = flags.GetString("out", "");
   const std::string kind = flags.GetString("index", "gct");
+  const bool want_tsd = kind == "tsd" || kind == "both";
+  const bool want_gct = kind == "gct" || kind == "both";
+  if (!want_tsd && !want_gct) return Usage();
   const std::uint32_t num_threads = QueryOptionsFromFlags(flags).num_threads;
-  if (kind == "tsd") {
+
+  // One snapshot holds the graph CSR plus the requested index group(s), so
+  // stats/topr/serve --index=<out> can run without ever seeing the edge
+  // list again.
+  SnapshotWriter writer(out);
+  g.AppendToSnapshot(writer);
+  if (want_tsd) {
     TsdIndex::Options options;
     options.num_threads = num_threads;
     TsdIndex index = TsdIndex::Build(g, options);
-    index.Save(out);
+    index.AppendToSnapshot(writer);
     std::cout << "TSD index: " << HumanBytes(index.SizeBytes()) << " in "
-              << HumanSeconds(index.build_stats().total_seconds) << " -> "
-              << out << "\n";
-  } else if (kind == "gct") {
+              << HumanSeconds(index.build_stats().total_seconds) << "\n";
+  }
+  if (want_gct) {
     GctIndex::Options options;
     options.num_threads = num_threads;
     GctIndex index = GctIndex::Build(g, options);
-    index.Save(out);
+    index.AppendToSnapshot(writer);
     std::cout << "GCT index: " << HumanBytes(index.SizeBytes()) << " in "
-              << HumanSeconds(index.build_stats().total_seconds) << " -> "
-              << out << "\n";
-  } else {
-    return Usage();
+              << HumanSeconds(index.build_stats().total_seconds) << "\n";
   }
+  writer.Finish();
+  std::cout << "snapshot: graph (" << HumanBytes(g.MemoryBytes()) << ") + "
+            << kind << " -> " << out << "\n";
   return 0;
 }
 
@@ -434,7 +517,7 @@ void PrintServeDiagnostics(const ShardedServeLoop& loop,
   }
 }
 
-int RunServe(const Graph& g, const Flags& flags) {
+int RunServe(GraphSource& source, const Flags& flags) {
   const bool stdin_proto = flags.GetBool("stdin-proto", false);
   const bool listen = flags.Has("listen");
   if (!stdin_proto && !listen) {
@@ -442,7 +525,7 @@ int RunServe(const Graph& g, const Flags& flags) {
                  "--listen=PORT (socket transport)\n";
     return Usage();
   }
-  SearcherHolder holder = MakeSearcher(g, flags.GetString("method", "gct"));
+  SearcherHolder holder = MakeSearcher(source, flags.GetString("method", "gct"));
   if (holder.active == nullptr) return Usage();
 
   ShardedServeOptions options;
@@ -573,14 +656,24 @@ int Run(int argc, char** argv) {
     if (command == "query") return RunQuery(flags);
     if (command == "gen") return RunGen(flags);
     if (command == "client") return RunClient(flags);
-    if (flags.positional().size() < 2) return Usage();
-    const Graph g = LoadEdgeListText(flags.positional()[1]);
-    if (command == "stats") return RunStats(g, flags);
-    if (command == "topr") return RunTopR(g, flags);
-    if (command == "batch") return RunBatch(g, flags);
-    if (command == "score") return RunScore(g, flags);
-    if (command == "build") return RunBuild(g, flags);
-    if (command == "serve") return RunServe(g, flags);
+    if (command == "build") {
+      // build interprets --index as the KIND to build (gct|tsd|both), so it
+      // always reads the edge list rather than going through LoadGraphSource.
+      if (flags.positional().size() < 2) return Usage();
+      const Graph g = LoadEdgeListText(flags.positional()[1]);
+      return RunBuild(g, flags);
+    }
+    const bool graph_command = command == "stats" || command == "topr" ||
+                               command == "batch" || command == "score" ||
+                               command == "serve";
+    if (!graph_command) return Usage();
+    if (flags.positional().size() < 2 && !flags.Has("index")) return Usage();
+    GraphSource source = LoadGraphSource(flags);
+    if (command == "stats") return RunStats(source.graph, flags);
+    if (command == "topr") return RunTopR(source, flags);
+    if (command == "batch") return RunBatch(source, flags);
+    if (command == "score") return RunScore(source.graph, flags);
+    if (command == "serve") return RunServe(source, flags);
   } catch (const CheckError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
