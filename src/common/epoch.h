@@ -1,0 +1,290 @@
+// Epoch-based reclamation (EBR) for read-mostly shared structures.
+//
+// The problem: a writer replaces a node of a lock-free structure (atomic
+// pointer swap) while readers traverse it without locks. The old node cannot
+// be freed while any reader might still dereference it. EBR solves this with
+// a global epoch counter and per-reader announcements:
+//
+//  * A reader *pins* the current epoch before touching the structure and
+//    *unpins* when done. While pinned, it may follow any pointer it reads
+//    from the live structure.
+//  * The writer never frees retired memory directly: Retire() queues the
+//    object on the limbo list of the current epoch. TryAdvance() bumps the
+//    global epoch only when every pinned reader has announced the current
+//    one, then frees the limbo list from two epochs ago — by then, provably
+//    no reader can still hold a pointer into it (see the safety argument on
+//    TryAdvance).
+//
+// Division of labour, matching the capability annotations below:
+//  * Reader side (Pin/Unpin via EpochGuard) is lock-free and thread-safe:
+//    any number of threads, no ordering requirements among them.
+//  * Writer side (Retire/TryAdvance) is *single-writer by contract*: the
+//    caller serializes all writer calls externally (a mutex around the
+//    update path, or a single updater thread). The writer_role_ ThreadRole
+//    makes that contract compile-time checkable: writer entry points are
+//    TSD_REQUIRES(writer_role()), and the serialized caller claims the role
+//    with AssertWriter() plus a comment citing what serializes it.
+//
+// Grace-period granularity is coarse on purpose: *any* pinned reader parks
+// epoch advancement entirely (the classic EBR trade-off — readers pay two
+// atomic stores, the writer's garbage waits for the slowest reader). Pins
+// are expected to bracket one query or one batch, never to be held
+// indefinitely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace tsd {
+
+/// Counters for observability ("per-epoch counters ride the stats tables").
+struct EpochStats {
+  std::uint64_t epoch = 0;            // current global epoch
+  std::uint64_t advances = 0;         // successful TryAdvance calls
+  std::uint64_t stalled_advances = 0; // TryAdvance calls blocked by a pin
+  std::uint64_t retired = 0;          // objects handed to Retire
+  std::uint64_t freed = 0;            // retired objects actually deleted
+  std::uint64_t reader_slots = 0;     // reader slots ever created
+};
+
+class EpochManager {
+ public:
+  /// A reader's registration. Acquired per pin (or cached by a long-lived
+  /// reader), released when done; slots are pooled on a lock-free intrusive
+  /// list and never deallocated before the manager dies, so acquisition in
+  /// the steady state is a walk + one CAS, with no heap traffic.
+  struct ReaderSlot {
+    static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+    std::atomic<std::uint64_t> epoch{kIdle};  // announced epoch; kIdle = unpinned
+    std::atomic<bool> in_use{false};
+    ReaderSlot* next = nullptr;  // immutable after publication on the list
+  };
+
+  EpochManager() = default;
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Frees every slot and every still-limbo object. By the reader contract
+  /// no reader may be pinned (or pinning) at destruction time.
+  ~EpochManager() {
+    ReaderSlot* slot = slots_.load(std::memory_order_acquire);
+    while (slot != nullptr) {
+      TSD_CHECK(!slot->in_use.load(std::memory_order_acquire));
+      ReaderSlot* next = slot->next;
+      delete slot;
+      slot = next;
+    }
+    for (std::vector<Retired>& bucket : limbo_) {
+      for (Retired& r : bucket) {
+        r.deleter(r.object);
+        ++freed_;
+      }
+      bucket.clear();
+    }
+  }
+
+  // ------------------------------------------------------------ reader side
+
+  /// Grabs a free reader slot (reusing a pooled one when possible).
+  /// Lock-free; safe from any thread.
+  ReaderSlot* AcquireSlot() {
+    for (ReaderSlot* slot = slots_.load(std::memory_order_acquire);
+         slot != nullptr; slot = slot->next) {
+      bool expected = false;
+      if (slot->in_use.compare_exchange_strong(expected, true,
+                                               std::memory_order_acquire)) {
+        return slot;
+      }
+    }
+    // No free slot: link a fresh one (push-front; slots are never unlinked).
+    auto* slot = new ReaderSlot();
+    slot->in_use.store(true, std::memory_order_relaxed);
+    slot->next = slots_.load(std::memory_order_relaxed);
+    while (!slots_.compare_exchange_weak(slot->next, slot,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    }
+    slots_created_.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+  }
+
+  /// Returns a slot to the pool. The slot must be unpinned.
+  void ReleaseSlot(ReaderSlot* slot) {
+    TSD_DCHECK(slot->epoch.load(std::memory_order_relaxed) ==
+               ReaderSlot::kIdle);
+    slot->in_use.store(false, std::memory_order_release);
+  }
+
+  /// Announces the current epoch on `slot`. After Pin returns, every pointer
+  /// the reader loads from the protected structure stays valid until Unpin.
+  ///
+  /// The announce/confirm loop closes the classic race against TryAdvance:
+  /// the seq_cst announce *store* and the writer's seq_cst slot *load* form
+  /// a Dekker pair with the global-epoch store/load in the other order — if
+  /// the writer missed this announcement, the confirm load here must see the
+  /// writer's new epoch and the loop re-announces; if the confirm load saw
+  /// the old epoch, the writer must have seen the announcement and its
+  /// advance failed. Either way, no epoch this reader announced-and-
+  /// confirmed can have its grace period expire while the pin is held.
+  void Pin(ReaderSlot* slot) {
+    std::uint64_t seen = global_epoch_.load(std::memory_order_seq_cst);
+    while (true) {
+      slot->epoch.store(seen, std::memory_order_seq_cst);
+      const std::uint64_t confirm =
+          global_epoch_.load(std::memory_order_seq_cst);
+      if (confirm == seen) return;
+      seen = confirm;
+    }
+  }
+
+  void Unpin(ReaderSlot* slot) {
+    slot->epoch.store(ReaderSlot::kIdle, std::memory_order_release);
+  }
+
+  // ------------------------------------------------------------ writer side
+
+  /// The serialized writer claims its capability here, with a comment at the
+  /// call site citing what serializes it (a mutex, a single updater thread).
+  void AssertWriter() const TSD_ASSERT_CAPABILITY(writer_role_) {}
+
+  /// Queues `object` for deletion once its grace period passes. The caller
+  /// must already have unlinked it from the live structure (made it
+  /// unreachable for new readers).
+  template <typename T>
+  void Retire(const T* object) TSD_REQUIRES(writer_role_) {
+    Retire(const_cast<void*>(static_cast<const void*>(object)),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Type-erased flavor for callers that manage their own layout.
+  void Retire(void* object, void (*deleter)(void*)) TSD_REQUIRES(writer_role_) {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+    limbo_[e % kBuckets].push_back(Retired{object, deleter});
+    ++retired_;
+  }
+
+  /// Attempts to advance the global epoch, freeing the limbo bucket whose
+  /// grace period has passed. Returns false (and frees nothing) while any
+  /// reader is pinned to a stale epoch — or to the current one, which is the
+  /// conservative classic-EBR rule: advancement waits for full quiescence.
+  ///
+  /// Safety: objects freed here were retired at epoch E-2 (bucket
+  /// (E+1) % 3), i.e. unlinked from the live structure before the global
+  /// epoch became E-1. A reader can only be dereferencing such an object if
+  /// it pinned before the unlink — but every reader pinned *now* announced
+  /// epoch E (checked below, via the Dekker pairing with Pin), and a reader
+  /// that announced E did so after the E-1 -> E advance, which happened
+  /// after the unlink. So no current reader can reach the freed objects, and
+  /// future readers cannot either (they are unlinked).
+  bool TryAdvance() TSD_REQUIRES(writer_role_) {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+    for (ReaderSlot* slot = slots_.load(std::memory_order_acquire);
+         slot != nullptr; slot = slot->next) {
+      const std::uint64_t announced =
+          slot->epoch.load(std::memory_order_seq_cst);
+      if (announced != ReaderSlot::kIdle && announced != e) {
+        ++stalled_advances_;
+        return false;
+      }
+      if (announced == e) {
+        // Pinned to the current epoch: quiescence not reached yet.
+        ++stalled_advances_;
+        return false;
+      }
+    }
+    global_epoch_.store(e + 1, std::memory_order_seq_cst);
+    ++advances_;
+    std::vector<Retired>& expired = limbo_[(e + 1) % kBuckets];
+    for (Retired& r : expired) {
+      r.deleter(r.object);
+      ++freed_;
+    }
+    expired.clear();
+    return true;
+  }
+
+  /// Retire backlog not yet freed (writer-side view).
+  std::size_t limbo_size() const TSD_REQUIRES(writer_role_) {
+    std::size_t total = 0;
+    for (const std::vector<Retired>& bucket : limbo_) total += bucket.size();
+    return total;
+  }
+
+  // ------------------------------------------------------------ introspection
+
+  std::uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Counter snapshot. The writer-owned counters are read without the
+  /// writer capability, so a mid-update snapshot is approximate (torn by at
+  /// most one in-flight update) — fine for stats tables.
+  EpochStats stats() const TSD_NO_THREAD_SAFETY_ANALYSIS {
+    EpochStats s;
+    s.epoch = epoch();
+    s.advances = advances_;
+    s.stalled_advances = stalled_advances_;
+    s.retired = retired_;
+    s.freed = freed_;
+    s.reader_slots = slots_created_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  // Three buckets: garbage retired at epoch E is freed at the E+2 -> E+3
+  // advance, after two full grace periods — one more than strictly needed,
+  // the standard conservative margin.
+  static constexpr std::size_t kBuckets = 3;
+
+  struct Retired {
+    void* object;
+    void (*deleter)(void*);
+  };
+
+  std::atomic<std::uint64_t> global_epoch_{0};
+  std::atomic<ReaderSlot*> slots_{nullptr};  // push-only intrusive list
+  std::atomic<std::uint64_t> slots_created_{0};
+
+  /// Phantom capability of the (externally serialized) single writer.
+  ThreadRole writer_role_;
+  std::vector<Retired> limbo_[kBuckets] TSD_GUARDED_BY(writer_role_);
+  std::uint64_t advances_ TSD_GUARDED_BY(writer_role_) = 0;
+  std::uint64_t stalled_advances_ TSD_GUARDED_BY(writer_role_) = 0;
+  std::uint64_t retired_ TSD_GUARDED_BY(writer_role_) = 0;
+  std::uint64_t freed_ TSD_GUARDED_BY(writer_role_) = 0;
+};
+
+/// RAII pin: acquires a slot and pins the current epoch for the scope. One
+/// guard per query (or per batch) is the intended granularity. The guard
+/// protects loads made by *any* thread during its lifetime that the holder
+/// synchronizes with (fork/join of pipeline workers): the pin blocks epoch
+/// advancement, so nothing reachable at pin time is freed until the guard
+/// dies.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager& manager)
+      : manager_(manager), slot_(manager.AcquireSlot()) {
+    manager_.Pin(slot_);
+  }
+
+  ~EpochGuard() {
+    manager_.Unpin(slot_);
+    manager_.ReleaseSlot(slot_);
+  }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager& manager_;
+  EpochManager::ReaderSlot* slot_;
+};
+
+}  // namespace tsd

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 
 #include "common/check.h"
-#include "common/disjoint_set.h"
 #include "common/timer.h"
 #include "core/batch_query.h"
 #include "core/max_spanning_forest.h"
@@ -15,11 +13,30 @@
 namespace tsd {
 
 DynamicTsdIndex::DynamicTsdIndex(const Graph& initial, EgoTrussMethod method)
-    : graph_(initial), method_(method), forest_(initial.num_vertices()) {
-  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    : graph_(initial), method_(method), maint_decomposer_(method) {
+  // Construction is single-threaded: this thread is trivially the
+  // serialized updater, and no reader can hold a pin yet.
+  updater_role_.Assert();
+  const VertexId n = graph_.num_vertices();
+  auto* table = new SliceTable(std::max<std::size_t>(n, 1));
+  view_.store(new ForestView{n, table}, std::memory_order_release);
+  for (VertexId v = 0; v < n; ++v) {
     RebuildVertex(v);
   }
-  rebuild_count_ = 0;  // construction does not count as maintenance
+  rebuild_count_.store(0, std::memory_order_relaxed);  // construction does
+                                                       // not count
+}
+
+DynamicTsdIndex::~DynamicTsdIndex() {
+  // Owner contract: no readers or updaters in flight. The epoch manager's
+  // destructor frees whatever is still in limbo; only the live view and its
+  // slices are freed here.
+  ForestView* view = view_.load(std::memory_order_relaxed);
+  for (VertexId v = 0; v < view->num_vertices; ++v) {
+    delete view->table->slots[v].load(std::memory_order_relaxed);
+  }
+  delete view->table;
+  delete view;
 }
 
 void DynamicTsdIndex::ExtractEgo(VertexId center, EgoNetwork* out) const {
@@ -43,22 +60,36 @@ void DynamicTsdIndex::ExtractEgo(VertexId center, EgoNetwork* out) const {
 }
 
 void DynamicTsdIndex::RebuildVertex(VertexId v) {
-  ++rebuild_count_;
-  EgoNetwork ego;
-  ExtractEgo(v, &ego);
-  EgoTrussDecomposer decomposer(method_);
-  const std::vector<std::uint32_t> trussness = decomposer.Compute(ego);
+  rebuild_count_.fetch_add(1, std::memory_order_relaxed);
+  ExtractEgo(v, &maint_ego_);
+  maint_decomposer_.ComputeInto(maint_ego_, &maint_trussness_);
 
-  auto& edges = forest_[v];
-  edges.clear();
-  DisjointSet dsu;
+  auto* slice = new ForestSlice;
+  slice->universe = graph_.num_vertices();
   internal::MaximumSpanningForest(
-      ego, trussness, dsu, [&](VertexId gu, VertexId gv, std::uint32_t w) {
-        edges.push_back(ForestEdge{gu, gv, w});
+      maint_ego_, maint_trussness_, maint_dsu_,
+      [&](VertexId gu, VertexId gv, std::uint32_t w) {
+        slice->edges.push_back(ForestEdge{gu, gv, w});
       });
+
+  // Publish the fresh slice; the displaced one stays readable until its
+  // grace period passes. Serialized with all other writer-side calls by the
+  // updater contract this function already requires.
+  epochs_.AssertWriter();
+  ForestView* view = view_.load(std::memory_order_relaxed);
+  const ForestSlice* old = view->table->slots[v].load(std::memory_order_relaxed);
+  view->table->slots[v].store(slice, std::memory_order_release);
+  if (old != nullptr) epochs_.Retire(old);
 }
 
 bool DynamicTsdIndex::InsertEdge(VertexId u, VertexId v) {
+  // Serialized-updater contract (class comment): the caller serializes all
+  // update entry points, so this thread is the updater for this call.
+  updater_role_.Assert();
+  epochs_.AssertWriter();
+  if (u == v || u >= graph_.num_vertices() || v >= graph_.num_vertices()) {
+    return false;  // rejected, symmetric with RemoveEdge — never a crash
+  }
   if (!graph_.InsertEdge(u, v)) return false;
   // Affected ego-networks: u, v, and every common neighbor (whose ego just
   // gained the edge (u, v)). Common neighbors are unchanged by the insert
@@ -66,10 +97,14 @@ bool DynamicTsdIndex::InsertEdge(VertexId u, VertexId v) {
   for (VertexId w : graph_.CommonNeighbors(u, v)) RebuildVertex(w);
   RebuildVertex(u);
   RebuildVertex(v);
+  epochs_.TryAdvance();  // opportunistic; a pinned reader just defers frees
   return true;
 }
 
 bool DynamicTsdIndex::RemoveEdge(VertexId u, VertexId v) {
+  // Serialized-updater contract (class comment).
+  updater_role_.Assert();
+  epochs_.AssertWriter();
   if (u >= graph_.num_vertices() || v >= graph_.num_vertices() ||
       !graph_.HasEdge(u, v)) {
     return false;
@@ -79,58 +114,101 @@ bool DynamicTsdIndex::RemoveEdge(VertexId u, VertexId v) {
   for (VertexId w : affected) RebuildVertex(w);
   RebuildVertex(u);
   RebuildVertex(v);
+  epochs_.TryAdvance();
   return true;
 }
 
 VertexId DynamicTsdIndex::AddVertex() {
+  // Serialized-updater contract (class comment).
+  updater_role_.Assert();
+  epochs_.AssertWriter();
   const VertexId v = graph_.AddVertex();
-  forest_.emplace_back();
+  const VertexId n = graph_.num_vertices();
+  ForestView* old_view = view_.load(std::memory_order_relaxed);
+
+  auto* slice = new ForestSlice;  // isolated vertex: empty forest
+  slice->universe = n;
+
+  SliceTable* table = old_view->table;
+  if (table->capacity < n) {
+    // Grow by copying the slice pointers into a bigger table. Readers on
+    // the old view keep using the old table (same slices), so only the
+    // table shell and the view are retired — never the shared slices.
+    auto* grown = new SliceTable(std::max<std::size_t>(n, table->capacity * 2));
+    for (VertexId i = 0; i < old_view->num_vertices; ++i) {
+      grown->slots[i].store(table->slots[i].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    table = grown;
+  }
+  table->slots[n - 1].store(slice, std::memory_order_relaxed);
+  view_.store(new ForestView{n, table}, std::memory_order_release);
+  if (table != old_view->table) epochs_.Retire(old_view->table);
+  epochs_.Retire(old_view);
+  epochs_.TryAdvance();
   return v;
 }
 
-std::uint32_t DynamicTsdIndex::Score(VertexId v, std::uint32_t k) const {
+std::uint32_t DynamicTsdIndex::ScoreIn(const ForestView& view, VertexId v,
+                                       std::uint32_t k,
+                                       IndexQueryScratch& scratch) const {
   TSD_CHECK(k >= 2);
-  TSD_CHECK(v < forest_.size());
-  std::unordered_map<VertexId, std::uint32_t> seen;
+  TSD_CHECK(v < view.num_vertices);
+  const ForestSlice& slice = SliceOf(view, v);
+  // The forest property gives score = |endpoints| - |edges| over the
+  // weight-≥k prefix. Dense scratch sized by the slice's own universe (see
+  // the ForestSlice comment — the view's count can be stale relative to a
+  // freshly swapped slice).
+  scratch.ids.Begin(slice.universe);
   std::uint32_t edges = 0;
-  for (const ForestEdge& e : forest_[v]) {
+  for (const ForestEdge& e : slice.edges) {
     if (e.weight < k) break;  // sorted descending
     ++edges;
-    seen.emplace(e.u, 0);
-    seen.emplace(e.v, 0);
+    scratch.ids.Insert(e.u);
+    scratch.ids.Insert(e.v);
   }
-  return static_cast<std::uint32_t>(seen.size()) - edges;
+  return scratch.ids.size() - edges;
 }
 
-ScoreResult DynamicTsdIndex::ScoreWithContexts(VertexId v,
-                                               std::uint32_t k) const {
+ScoreResult DynamicTsdIndex::ScoreWithContextsIn(
+    const ForestView& view, VertexId v, std::uint32_t k,
+    IndexQueryScratch& scratch) const {
   TSD_CHECK(k >= 2);
-  TSD_CHECK(v < forest_.size());
-  std::unordered_map<VertexId, std::uint32_t> local;
-  std::vector<VertexId> global;
+  TSD_CHECK(v < view.num_vertices);
+  const ForestSlice& slice = SliceOf(view, v);
+
+  // Map touched global endpoints to dense local ids (same kernel as
+  // TsdIndex::ScoreWithContexts, over the maintained slice).
+  scratch.ids.Begin(slice.universe);
   std::size_t qualified = 0;
-  for (const ForestEdge& e : forest_[v]) {
+  for (const ForestEdge& e : slice.edges) {
     if (e.weight < k) break;
+    scratch.ids.Insert(e.u);
+    scratch.ids.Insert(e.v);
     ++qualified;
-    for (VertexId endpoint : {e.u, e.v}) {
-      if (local.emplace(endpoint, global.size()).second) {
-        global.push_back(endpoint);
-      }
-    }
   }
-  DisjointSet dsu(global.size());
+  const std::vector<VertexId>& global = scratch.ids.keys();
+
+  scratch.dsu.Reset(global.size());
   for (std::size_t i = 0; i < qualified; ++i) {
-    dsu.Union(local[forest_[v][i].u], local[forest_[v][i].v]);
+    scratch.dsu.Union(scratch.ids.Insert(slice.edges[i].u),
+                      scratch.ids.Insert(slice.edges[i].v));
   }
-  std::unordered_map<std::uint32_t, SocialContext> by_root;
-  for (std::uint32_t i = 0; i < global.size(); ++i) {
-    by_root[dsu.Find(i)].push_back(global[i]);
-  }
+
+  constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+  scratch.slots.assign(global.size(), kNoSlot);
   ScoreResult result;
-  result.score = static_cast<std::uint32_t>(by_root.size());
-  for (auto& [root, members] : by_root) {
-    std::sort(members.begin(), members.end());
-    result.contexts.push_back(std::move(members));
+  for (std::uint32_t i = 0; i < global.size(); ++i) {
+    const std::uint32_t root = scratch.dsu.Find(i);
+    if (scratch.slots[root] == kNoSlot) {
+      scratch.slots[root] = static_cast<std::uint32_t>(result.contexts.size());
+      result.contexts.emplace_back();
+    }
+    result.contexts[scratch.slots[root]].push_back(global[i]);
+  }
+  result.score = static_cast<std::uint32_t>(result.contexts.size());
+  for (SocialContext& context : result.contexts) {
+    std::sort(context.begin(), context.end());
   }
   std::sort(result.contexts.begin(), result.contexts.end(),
             [](const SocialContext& a, const SocialContext& b) {
@@ -139,38 +217,66 @@ ScoreResult DynamicTsdIndex::ScoreWithContexts(VertexId v,
   return result;
 }
 
-std::uint32_t DynamicTsdIndex::ScoreUpperBound(VertexId v,
-                                               std::uint32_t k) const {
+std::uint32_t DynamicTsdIndex::ScoreUpperBoundIn(const ForestView& view,
+                                                 VertexId v,
+                                                 std::uint32_t k) const {
   TSD_DCHECK(k >= 2);
-  const auto& edges = forest_[v];
+  TSD_DCHECK(v < view.num_vertices);
+  const ForestSlice& slice = SliceOf(view, v);
   const auto it = std::partition_point(
-      edges.begin(), edges.end(),
+      slice.edges.begin(), slice.edges.end(),
       [k](const ForestEdge& e) { return e.weight >= k; });
-  return static_cast<std::uint32_t>(it - edges.begin()) / (k - 1);
+  return static_cast<std::uint32_t>(it - slice.edges.begin()) / (k - 1);
 }
 
-void DynamicTsdIndex::ScoresForThresholds(
-    VertexId v, std::span<const std::uint32_t> thresholds,
-    IndexQueryScratch& scratch, std::uint32_t* scores) const {
-  TSD_DCHECK(v < forest_.size());
-  const auto& edges = forest_[v];
+void DynamicTsdIndex::ScoresForThresholdsIn(
+    const ForestView& view, VertexId v,
+    std::span<const std::uint32_t> thresholds, IndexQueryScratch& scratch,
+    std::uint32_t* scores) const {
+  TSD_DCHECK(v < view.num_vertices);
+  const ForestSlice& slice = SliceOf(view, v);
   // Weights are sorted descending, so the qualified prefix only grows as
   // the threshold drops: one sweep serves every k (same discipline as
   // TsdIndex::ScoresForThresholds, over the maintained forest slice).
-  scratch.ids.Begin(graph_.num_vertices());
+  scratch.ids.Begin(slice.universe);
   std::size_t i = 0;
   std::uint32_t qualified = 0;
   for (std::size_t t = 0; t < thresholds.size(); ++t) {
     const std::uint32_t k = thresholds[t];
     TSD_DCHECK(t == 0 || thresholds[t - 1] > k);
-    while (i < edges.size() && edges[i].weight >= k) {
+    while (i < slice.edges.size() && slice.edges[i].weight >= k) {
       ++qualified;
-      scratch.ids.Insert(edges[i].u);
-      scratch.ids.Insert(edges[i].v);
+      scratch.ids.Insert(slice.edges[i].u);
+      scratch.ids.Insert(slice.edges[i].v);
       ++i;
     }
     scores[t] = scratch.ids.size() - qualified;
   }
+}
+
+std::uint32_t DynamicTsdIndex::Score(VertexId v, std::uint32_t k,
+                                     IndexQueryScratch& scratch) const {
+  EpochGuard guard(epochs_);
+  return ScoreIn(CurrentView(), v, k, scratch);
+}
+
+ScoreResult DynamicTsdIndex::ScoreWithContexts(VertexId v, std::uint32_t k,
+                                               IndexQueryScratch& scratch) const {
+  EpochGuard guard(epochs_);
+  return ScoreWithContextsIn(CurrentView(), v, k, scratch);
+}
+
+std::uint32_t DynamicTsdIndex::ScoreUpperBound(VertexId v,
+                                               std::uint32_t k) const {
+  EpochGuard guard(epochs_);
+  return ScoreUpperBoundIn(CurrentView(), v, k);
+}
+
+void DynamicTsdIndex::ScoresForThresholds(
+    VertexId v, std::span<const std::uint32_t> thresholds,
+    IndexQueryScratch& scratch, std::uint32_t* scores) const {
+  EpochGuard guard(epochs_);
+  ScoresForThresholdsIn(CurrentView(), v, thresholds, scratch, scores);
 }
 
 TopRResult DynamicTsdIndex::TopR(std::uint32_t r, std::uint32_t k,
@@ -179,13 +285,19 @@ TopRResult DynamicTsdIndex::TopR(std::uint32_t r, std::uint32_t k,
   TSD_CHECK(k >= 2);
   WallTimer total;
   TopRResult result;
-  const VertexId n = graph_.num_vertices();
+
+  // One pin brackets the whole query; the pipeline workers it forks run
+  // inside it (fork/join is the happens-before bracket), so every kernel
+  // call below reads through this one pinned view.
+  EpochGuard guard(epochs_);
+  const ForestView& view = CurrentView();
+  const VertexId n = view.num_vertices;
 
   // Index-only pipeline, like the frozen TsdIndex.
   QueryPipeline& pipeline = session.IndexPipeline();
   std::vector<std::uint32_t> bounds;
   pipeline.MapScores(n, &bounds, [&](QueryWorkspace&, VertexId v) {
-    return ScoreUpperBound(v, k);
+    return ScoreUpperBoundIn(view, v, k);
   });
   std::vector<VertexId> order(n);
   std::iota(order.begin(), order.end(), 0U);
@@ -194,12 +306,14 @@ TopRResult DynamicTsdIndex::TopR(std::uint32_t r, std::uint32_t k,
   });
 
   TopRCollector collector(r);
-  result.stats.vertices_scored = pipeline.ScoreOrdered(
-      order, bounds, &collector,
-      [&](QueryWorkspace&, VertexId v) { return Score(v, k); });
+  result.stats.vertices_scored =
+      pipeline.ScoreOrdered(order, bounds, &collector,
+                            [&](QueryWorkspace& ws, VertexId v) {
+                              return ScoreIn(view, v, k, ws.index_scratch());
+                            });
   pipeline.MaterializeEntries(
-      collector.Ranked(), &result.entries, [&](QueryWorkspace&, VertexId v) {
-        return ScoreWithContexts(v, k).contexts;
+      collector.Ranked(), &result.entries, [&](QueryWorkspace& ws, VertexId v) {
+        return ScoreWithContextsIn(view, v, k, ws.index_scratch()).contexts;
       });
   result.stats.threads_used = pipeline.num_threads();
   result.stats.total_seconds = total.Seconds();
@@ -215,6 +329,10 @@ std::vector<TopRResult> DynamicTsdIndex::SearchBatch(
   BatchQueryRunner runner(queries);
   QueryPipeline& pipeline = session.IndexPipeline();
 
+  // One pin brackets the whole batch (cf. TopR above).
+  EpochGuard guard(epochs_);
+  const ForestView& view = CurrentView();
+
   // One forest-slice sweep per vertex answers every threshold (the TSD
   // multi-k discipline over the dynamic forest slices); with exact multi-k
   // scores this cheap, the bound ordering would not pay, so the batch path
@@ -222,9 +340,11 @@ std::vector<TopRResult> DynamicTsdIndex::SearchBatch(
   {
     ScopedTimer t(&stats.score_seconds);
     stats.vertices_scored = runner.Scan(
-        pipeline, graph_.num_vertices(),
-        [this, &runner](QueryWorkspace& ws, VertexId v, std::uint32_t* out) {
-          ScoresForThresholds(v, runner.thresholds(), ws.index_scratch(), out);
+        pipeline, view.num_vertices,
+        [this, &runner, &view](QueryWorkspace& ws, VertexId v,
+                               std::uint32_t* out) {
+          ScoresForThresholdsIn(view, v, runner.thresholds(),
+                                ws.index_scratch(), out);
         });
   }
 
@@ -232,8 +352,8 @@ std::vector<TopRResult> DynamicTsdIndex::SearchBatch(
     ScopedTimer t(&stats.context_seconds);
     runner.MaterializeGrouped(
         pipeline, &results, [](QueryWorkspace&, VertexId) {},
-        [this](QueryWorkspace&, VertexId v, std::uint32_t k) {
-          return ScoreWithContexts(v, k).contexts;
+        [this, &view](QueryWorkspace& ws, VertexId v, std::uint32_t k) {
+          return ScoreWithContextsIn(view, v, k, ws.index_scratch()).contexts;
         });
   }
 
@@ -244,14 +364,16 @@ std::vector<TopRResult> DynamicTsdIndex::SearchBatch(
 }
 
 TsdIndex DynamicTsdIndex::Freeze() const {
+  EpochGuard guard(epochs_);
+  const ForestView& view = CurrentView();
   TsdIndex index;
-  const VertexId n = graph_.num_vertices();
+  const VertexId n = view.num_vertices;
   std::vector<std::uint64_t> offsets(std::size_t{n} + 1, 0);
   std::vector<VertexId> edge_u;
   std::vector<VertexId> edge_v;
   std::vector<std::uint32_t> weight;
   for (VertexId v = 0; v < n; ++v) {
-    for (const ForestEdge& e : forest_[v]) {
+    for (const ForestEdge& e : SliceOf(view, v).edges) {
       edge_u.push_back(e.u);
       edge_v.push_back(e.v);
       weight.push_back(e.weight);

@@ -1,0 +1,80 @@
+#include "server/live_index.h"
+
+#include <cstdint>
+#include <sstream>
+
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace tsd {
+
+bool LiveUpdateApplier::ApplyUpdate(bool insert, std::uint64_t u,
+                                    std::uint64_t v) {
+  MutexLock lock(mutex_);
+  // Holding mutex_ serializes every update entry point of index_, which is
+  // exactly the serialized-updater contract the index requires.
+  WallTimer timer;
+  bool applied = false;
+  if (u <= UINT32_MAX && v <= UINT32_MAX) {
+    const auto uu = static_cast<VertexId>(u);
+    const auto vv = static_cast<VertexId>(v);
+    applied = insert ? index_.InsertEdge(uu, vv) : index_.RemoveEdge(uu, vv);
+  }
+  latency_usec_.Record(static_cast<std::uint64_t>(timer.Seconds() * 1e6));
+  if (applied) {
+    ++stats_.applied;
+    if (insert) {
+      ++stats_.inserts;
+    } else {
+      ++stats_.removes;
+    }
+  } else {
+    ++stats_.noops;
+  }
+  return applied;
+}
+
+std::string LiveUpdateApplier::RenderStatsTables() const {
+  LiveUpdateStats stats;
+  LatencyHistogram latency;
+  EpochStats epochs;
+  std::uint64_t rebuilds = 0;
+  {
+    MutexLock lock(mutex_);
+    stats = stats_;
+    latency = latency_usec_;
+    // Under the applier mutex no update is in flight, so the index's
+    // updater-quiescent accessors are safe here.
+    epochs = index_.epoch_stats();
+    rebuilds = index_.rebuild_count();
+  }
+
+  std::ostringstream out;
+  {
+    TablePrinter t({"live updates", "applied", "noop", "inserts", "removes",
+                    "rebuilds"});
+    t.Row("totals", stats.applied, stats.noops, stats.inserts, stats.removes,
+          rebuilds);
+    out << t.ToString();
+  }
+  out << "\n";
+  {
+    TablePrinter t({"update latency (usec)", "count", "mean", "p50", "p99",
+                    "max"});
+    t.Row("apply", latency.count(), latency.Mean(),
+          latency.ValueAtQuantile(0.50), latency.ValueAtQuantile(0.99),
+          latency.max());
+    out << t.ToString();
+  }
+  out << "\n";
+  {
+    TablePrinter t({"epoch reclamation", "epoch", "advances", "stalled",
+                    "retired", "freed", "reader-slots"});
+    t.Row("totals", epochs.epoch, epochs.advances, epochs.stalled_advances,
+          epochs.retired, epochs.freed, epochs.reader_slots);
+    out << t.ToString();
+  }
+  return out.str();
+}
+
+}  // namespace tsd

@@ -1,0 +1,70 @@
+// Serialized update front-end over a DynamicTsdIndex, for serving layers
+// that accept "+u v" / "-u v" update lines while queries are in flight.
+//
+// DynamicTsdIndex's contract (core/dynamic_tsd_index.h) is: queries are
+// lock-free and safe concurrently with updates, but updates themselves must
+// be serialized by the caller. LiveUpdateApplier is that caller: it owns a
+// mutex that serializes every ApplyUpdate, making it safe to wire one
+// applier into multiple transports (stdin driver thread, socket event-loop
+// thread) at once. It also keeps the observability the stats tables expect:
+// applied/noop counters split by direction, an update-latency histogram,
+// and the index's epoch-reclamation counters.
+//
+// Determinism note: the applier does not order updates against queries —
+// that is transport policy. Both shipped transports apply an update only
+// after every previously submitted request's reply is ready and submit
+// later requests only after the update returns, which is what makes
+// transcripts with interleaved update lines byte-stable across shard and
+// thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "core/dynamic_tsd_index.h"
+
+namespace tsd {
+
+/// Counters for the "live updates" stats table.
+struct LiveUpdateStats {
+  std::uint64_t applied = 0;  // updates that changed the graph
+  std::uint64_t noops = 0;    // duplicate inserts, absent removes, bad ids
+  std::uint64_t inserts = 0;  // applied inserts
+  std::uint64_t removes = 0;  // applied removes
+};
+
+class LiveUpdateApplier {
+ public:
+  /// The index must outlive the applier. All updates to `index` must go
+  /// through this applier (it is the serialized updater).
+  explicit LiveUpdateApplier(DynamicTsdIndex& index) : index_(index) {}
+
+  LiveUpdateApplier(const LiveUpdateApplier&) = delete;
+  LiveUpdateApplier& operator=(const LiveUpdateApplier&) = delete;
+
+  /// Applies one edge update. Returns true if the graph changed, false for
+  /// a noop (existing/absent edge, u == v, or ids outside the vertex range
+  /// — ids come from untrusted protocol lines, so nothing here crashes).
+  /// Thread-safe; calls are serialized internally.
+  bool ApplyUpdate(bool insert, std::uint64_t u, std::uint64_t v);
+
+  LiveUpdateStats stats() const {
+    MutexLock lock(mutex_);
+    return stats_;
+  }
+
+  /// "live updates" + "update latency" + "epoch reclamation" tables for the
+  /// transports' stats endpoints.
+  std::string RenderStatsTables() const;
+
+ private:
+  DynamicTsdIndex& index_;
+  mutable Mutex mutex_;
+  LiveUpdateStats stats_ TSD_GUARDED_BY(mutex_);
+  LatencyHistogram latency_usec_ TSD_GUARDED_BY(mutex_);
+};
+
+}  // namespace tsd

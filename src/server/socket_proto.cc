@@ -78,6 +78,16 @@ std::string EncodeShutdownFrame() {
   return EncodeFrame(std::string(1, static_cast<char>(kShutdownFrame)));
 }
 
+std::string EncodeUpdateFrame(bool insert, std::uint64_t u, std::uint64_t v) {
+  std::string payload;
+  payload.reserve(18);
+  payload.push_back(static_cast<char>(kUpdateFrame));
+  payload.push_back(static_cast<char>(insert ? 1 : 0));
+  AppendU64(payload, u);
+  AppendU64(payload, v);
+  return EncodeFrame(payload);
+}
+
 std::string EncodeReplyFrame(std::uint64_t id, ServeStatus status,
                              const std::vector<TranscriptEntry>& entries) {
   std::string payload;
@@ -111,6 +121,15 @@ std::string EncodeErrorFrame(std::uint64_t id, const std::string& message) {
   return EncodeFrame(payload);
 }
 
+std::string EncodeUpdateAckFrame(std::uint64_t id, UpdateAckOutcome outcome) {
+  std::string payload;
+  payload.reserve(10);
+  payload.push_back(static_cast<char>(kUpdateAckFrame));
+  AppendU64(payload, id);
+  payload.push_back(static_cast<char>(outcome));
+  return EncodeFrame(payload);
+}
+
 bool DecodeClientFrame(const char* payload, std::size_t size,
                        ClientFrame* out) {
   if (size < 1) return false;
@@ -125,6 +144,15 @@ bool DecodeClientFrame(const char* payload, std::size_t size,
     case kStatsFrame:
     case kShutdownFrame:
       return size == 1;
+    case kUpdateFrame: {
+      if (size != 18) return false;  // strict: no trailing bytes
+      const auto insert = static_cast<std::uint8_t>(payload[1]);
+      if (insert > 1) return false;
+      out->insert = insert == 1;
+      out->u = ReadWireU64(payload + 2);
+      out->v = ReadWireU64(payload + 10);
+      return true;
+    }
     default:
       return false;
   }
@@ -161,6 +189,16 @@ bool DecodeServerFrame(const char* payload, std::size_t size,
       out->id = ReadWireU64(payload + 1);
       out->text.assign(payload + 9, size - 9);
       return true;
+    case kUpdateAckFrame: {
+      if (size != 10) return false;
+      out->id = ReadWireU64(payload + 1);
+      const auto raw = static_cast<std::uint8_t>(payload[9]);
+      if (raw > static_cast<std::uint8_t>(UpdateAckOutcome::kUnsupported)) {
+        return false;
+      }
+      out->outcome = static_cast<UpdateAckOutcome>(raw);
+      return true;
+    }
     default:
       return false;
   }
@@ -258,6 +296,12 @@ std::uint64_t SocketClient::SendShutdown() {
   return ++next_id_;
 }
 
+std::uint64_t SocketClient::SendUpdate(bool insert, std::uint64_t u,
+                                       std::uint64_t v) {
+  SendBytes(EncodeUpdateFrame(insert, u, v));
+  return ++next_id_;
+}
+
 void SocketClient::CloseSend() {
   TSD_CHECK(connected());
   ::shutdown(fd_, SHUT_WR);
@@ -331,6 +375,16 @@ SocketClientScriptStats RunSocketClientScript(std::istream& in,
           out << "! server-error " << frame.text << "\n";
           ++stats.server_errors;
           break;
+        case kUpdateAckFrame:
+          // Exactly the stdin driver's ack line, so transcripts stay
+          // byte-comparable across transports.
+          out << "= " << frame.id << " "
+              << (frame.outcome == UpdateAckOutcome::kApplied ? "applied"
+                  : frame.outcome == UpdateAckOutcome::kNoop
+                      ? "noop"
+                      : "update-unsupported")
+              << "\n";
+          break;
         default:
           break;
       }
@@ -356,7 +410,8 @@ SocketClientScriptStats RunSocketClientScript(std::istream& in,
       continue;
     }
     ServeRequest request;
-    switch (ParseProtoLine(line, &request)) {
+    ProtoUpdate update;
+    switch (ParseProtoLine(line, &request, &update)) {
       case ProtoLineKind::kSkip:
         break;
       case ProtoLineKind::kFlush:
@@ -366,6 +421,14 @@ SocketClientScriptStats RunSocketClientScript(std::istream& in,
         client.SendQuery(request.tenant, request.k, request.r);
         ++outstanding;
         ++stats.requests;
+        break;
+      case ProtoLineKind::kUpdate:
+        // The server orders the update after every earlier request on this
+        // connection and before every later one (see socket_serve.h), so
+        // the driver just pipelines it like any other frame.
+        client.SendUpdate(update.insert, update.u, update.v);
+        ++outstanding;
+        ++stats.updates;
         break;
       case ProtoLineKind::kError:
         out << "! parse-error line " << line_number << "\n";

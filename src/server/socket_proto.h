@@ -10,11 +10,14 @@
 //     kQueryFrame    u8 type, u64 tenant, u32 k, u32 r      (17 bytes)
 //     kStatsFrame    u8 type                                 (1 byte)
 //     kShutdownFrame u8 type                                 (1 byte)
+//     kUpdateFrame   u8 type, u8 insert, u64 u, u64 v        (18 bytes)
 //   server -> client (strictly in per-connection submission order)
 //     kReplyFrame      u8 type, u64 id, u8 status, u32 n, n x (u64 vertex,
 //                      u64 score)
 //     kStatsReplyFrame u8 type, u64 id, rendered stats table bytes
 //     kErrorFrame      u8 type, u64 id (0 = not tied to a request), message
+//     kUpdateAckFrame  u8 type, u64 id, u8 outcome (0 = noop, 1 = applied,
+//                      2 = unsupported)
 //
 // Every request on a connection — query, stats, shutdown — consumes the
 // next 1-based id, and the server emits replies strictly by ascending id
@@ -39,10 +42,19 @@ enum SocketFrameType : std::uint8_t {
   kQueryFrame = 1,
   kStatsFrame = 2,
   kShutdownFrame = 3,
+  kUpdateFrame = 4,
   // server -> client
   kReplyFrame = 1,
   kStatsReplyFrame = 2,
   kErrorFrame = 3,
+  kUpdateAckFrame = 4,
+};
+
+/// Wire outcome of an update frame (kUpdateAckFrame payload byte 9).
+enum class UpdateAckOutcome : std::uint8_t {
+  kNoop = 0,
+  kApplied = 1,
+  kUnsupported = 2,  // server has no live (dynamic) index
 };
 
 /// Default inbound frame-payload cap; a length prefix above this is a
@@ -65,11 +77,13 @@ std::string EncodeQueryFrame(std::uint64_t tenant, std::uint32_t k,
                              std::uint32_t r);
 std::string EncodeStatsFrame();
 std::string EncodeShutdownFrame();
+std::string EncodeUpdateFrame(bool insert, std::uint64_t u, std::uint64_t v);
 
 std::string EncodeReplyFrame(std::uint64_t id, ServeStatus status,
                              const std::vector<TranscriptEntry>& entries);
 std::string EncodeStatsReplyFrame(std::uint64_t id, const std::string& text);
 std::string EncodeErrorFrame(std::uint64_t id, const std::string& message);
+std::string EncodeUpdateAckFrame(std::uint64_t id, UpdateAckOutcome outcome);
 
 // --- decoding ---
 
@@ -79,6 +93,10 @@ struct ClientFrame {
   std::uint64_t tenant = 0;
   std::uint32_t k = 0;
   std::uint32_t r = 0;
+  // kUpdateFrame fields
+  bool insert = false;
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
 };
 
 /// Strict decode of one client payload: exact length for its type, no
@@ -92,6 +110,7 @@ struct ServerFrame {
   ServeStatus status = ServeStatus::kOk;           // kReplyFrame
   std::vector<TranscriptEntry> entries;            // kReplyFrame
   std::string text;                                // stats table / error msg
+  UpdateAckOutcome outcome = UpdateAckOutcome::kNoop;  // kUpdateAckFrame
 };
 
 /// Strict decode of one server payload. False on anything malformed.
@@ -130,6 +149,7 @@ class SocketClient {
                           std::uint32_t r);
   std::uint64_t SendStats();
   std::uint64_t SendShutdown();
+  std::uint64_t SendUpdate(bool insert, std::uint64_t u, std::uint64_t v);
 
   /// Sends raw bytes verbatim (fuzz tests craft malformed frames with it).
   void SendBytes(const std::string& bytes);
@@ -156,13 +176,15 @@ class SocketClient {
 /// Driver-side stats of RunSocketClientScript (mirrors StdinProtoStats).
 struct SocketClientScriptStats {
   std::uint64_t requests = 0;
+  std::uint64_t updates = 0;
   std::uint64_t parse_errors = 0;
   /// Server-sent kErrorFrames (0 for well-formed scripts).
   std::uint64_t server_errors = 0;
 };
 
 /// Drives the same text script the stdin protocol reads — `q <tenant> <k>
-/// <r>` / `flush` / comments — through a connected SocketClient, writing
+/// <r>` / `+u v` / `-u v` / `flush` / comments — through a connected
+/// SocketClient, writing
 /// the transcript to `out`. The request lines are parsed by the *same*
 /// ParseProtoLine as the stdin driver and replies are rendered by the same
 /// AppendReplyTranscript, so for any script the socket transcript is

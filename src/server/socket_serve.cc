@@ -18,6 +18,7 @@
 #include "common/mutex.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "server/live_index.h"
 
 namespace tsd {
 namespace {
@@ -64,15 +65,22 @@ class EventFdWaker {
   int fd_;
 };
 
-/// One reply owed to a connection, in submission order: either a future
-/// from the serve loop (queries) or an already-encoded frame (stats
-/// replies, shutdown acks, protocol errors).
+/// One reply owed to a connection, in submission order: a future from the
+/// serve loop (queries), an already-encoded frame (stats replies, shutdown
+/// acks, protocol errors), or a deferred live update waiting for its turn
+/// at the front of the queue.
 struct PendingReply {
   std::uint64_t id = 0;
   bool immediate = false;
   std::string frame;          // immediate only
   Future<ServeReply> future;  // query only
   std::chrono::steady_clock::time_point submitted{};
+  // Deferred update (applied when it reaches the queue front, i.e. after
+  // every earlier request on this connection has been answered).
+  bool update = false;
+  bool insert = false;
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
 };
 
 struct SocketConnection {
@@ -85,6 +93,7 @@ struct SocketConnection {
   std::uint64_t next_id = 0;
   std::uint32_t armed_events = EPOLLIN;
   bool paused = false;         // reads paused by backpressure
+  bool blocked_on_update = false;  // a deferred update gates frame parsing
   bool read_shutdown = false;  // reads stopped for good (EOF/error/drain)
   bool want_close = false;     // close once pending is answered and flushed
   bool dead = false;           // close now, abandoning pending replies
@@ -396,6 +405,15 @@ void SocketServer::ReadFromConnection(Connection& c) {
 void SocketServer::ParseFrames(Connection& c) {
   std::size_t consumed = 0;
   while (!c.read_shutdown && !c.dead) {
+    if (c.blocked_on_update) {
+      // A deferred update gates the stream: frames behind it stay unparsed
+      // (and unsubmitted) until the update is applied, so every request on
+      // this connection observes a well-defined before/after ordering.
+      // HarvestConnection re-parses once the update clears. Note an EOF
+      // while blocked still drops unparsed bytes (the existing torn-frame
+      // rule); update-aware clients flush before half-closing.
+      break;
+    }
     if (OverInboundLimit(c)) {
       // Leftover bytes stay in inbuf and parse when the client drains
       // enough replies for MaybeResumeReading to fire.
@@ -486,6 +504,35 @@ void SocketServer::DispatchFrame(Connection& c, const char* payload,
       c.pending.push_back(std::move(reply));
       break;
     }
+    case kUpdateFrame: {
+      {
+        MutexLock lock(stats_mutex_);
+        ++stats_.updates;
+      }
+      if (c.pending.empty()) {
+        // Every earlier request on this connection is already answered:
+        // apply in place and ack immediately.
+        internal::PendingReply reply;
+        reply.id = id;
+        reply.immediate = true;
+        reply.frame =
+            EncodeUpdateAckFrame(id, ApplyUpdate(frame.insert, frame.u,
+                                                 frame.v));
+        c.pending.push_back(std::move(reply));
+      } else {
+        // Defer until the update reaches the queue front (all earlier
+        // replies harvested) and gate parsing of later frames meanwhile.
+        internal::PendingReply reply;
+        reply.id = id;
+        reply.update = true;
+        reply.insert = frame.insert;
+        reply.u = frame.u;
+        reply.v = frame.v;
+        c.pending.push_back(std::move(reply));
+        c.blocked_on_update = true;
+      }
+      break;
+    }
     default:
       break;  // unreachable: DecodeClientFrame rejects unknown types
   }
@@ -508,14 +555,35 @@ void SocketServer::ProtocolError(Connection& c, const std::string& message) {
   UpdateInterest(c);
 }
 
+UpdateAckOutcome SocketServer::ApplyUpdate(bool insert, std::uint64_t u,
+                                           std::uint64_t v) {
+  if (options_.updater == nullptr) return UpdateAckOutcome::kUnsupported;
+  // Applied on the event-loop thread; the applier's internal mutex is what
+  // serializes it against other transports sharing the same index. Shard
+  // consumers keep answering queries concurrently — safe via the dynamic
+  // index's epoch protection.
+  return options_.updater->ApplyUpdate(insert, u, v)
+             ? UpdateAckOutcome::kApplied
+             : UpdateAckOutcome::kNoop;
+}
+
 bool SocketServer::HarvestConnection(Connection& c) {
   bool appended = false;
+  bool unblocked = false;
   while (!c.pending.empty() &&
          c.outbound_bytes() < options_.max_outbound_bytes) {
     internal::PendingReply& front = c.pending.front();
     std::string frame;
     if (front.immediate) {
       frame = std::move(front.frame);
+    } else if (front.update) {
+      // At the queue front every earlier reply has been harvested, so the
+      // update's ordering barrier holds: apply, ack, and release the parse
+      // gate so the frames queued behind it get submitted.
+      frame = EncodeUpdateAckFrame(front.id,
+                                   ApplyUpdate(front.insert, front.u, front.v));
+      c.blocked_on_update = false;
+      unblocked = true;
     } else {
       if (!front.future.Ready()) break;  // strict id order: wait for it
       const ServeReply reply = front.future.Get();
@@ -535,6 +603,11 @@ bool SocketServer::HarvestConnection(Connection& c) {
     c.pending.pop_front();
     AppendOutbound(c, std::move(frame));
     appended = true;
+  }
+  if (unblocked && !c.blocked_on_update) {
+    // Frames held behind the (now applied) update are sitting whole in
+    // inbuf; epoll will not re-announce them, so parse now.
+    ParseFrames(c);
   }
   return appended;
 }
@@ -652,11 +725,11 @@ std::string SocketServer::RenderStatsTables() const {
   std::ostringstream out;
 
   out << "socket transport\n";
-  TablePrinter transport({"conns", "frames-in", "queries", "replies",
-                          "proto-err", "bytes-in", "bytes-out", "bp-pauses",
-                          "out-hwm"});
-  transport.Row(s.connections_accepted, s.frames_in, s.queries, s.replies_sent,
-                s.protocol_errors, HumanBytes(s.bytes_in),
+  TablePrinter transport({"conns", "frames-in", "queries", "updates",
+                          "replies", "proto-err", "bytes-in", "bytes-out",
+                          "bp-pauses", "out-hwm"});
+  transport.Row(s.connections_accepted, s.frames_in, s.queries, s.updates,
+                s.replies_sent, s.protocol_errors, HumanBytes(s.bytes_in),
                 HumanBytes(s.bytes_out), s.backpressure_pauses,
                 HumanBytes(s.outbound_high_water));
   transport.Print(out);

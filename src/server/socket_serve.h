@@ -62,6 +62,9 @@
 #include "server/socket_proto.h"
 
 namespace tsd {
+
+class LiveUpdateApplier;
+
 namespace internal {
 class EventFdWaker;
 struct SocketConnection;
@@ -91,6 +94,18 @@ struct SocketServerOptions {
   /// Extra text appended to the stats-endpoint reply (tsdtool wires the
   /// per-shard ServeStats table through this).
   std::function<std::string()> extra_stats;
+  /// Live-update sink for kUpdateFrame, or null to acknowledge updates as
+  /// unsupported. Updates are applied on the event-loop thread under a
+  /// per-connection ordering barrier: an update waits until every earlier
+  /// request on its connection has been answered, and later frames on that
+  /// connection are not even parsed until the update is applied — so a
+  /// single-client transcript with interleaved updates is deterministic and
+  /// byte-identical to the stdin transport's. (Requests from *other*
+  /// connections are not ordered against the update; concurrent queries
+  /// stay safe via the dynamic index's epoch protection, they just observe
+  /// the update at an unspecified per-vertex boundary.) Must outlive the
+  /// server.
+  LiveUpdateApplier* updater = nullptr;
 };
 
 /// Snapshot of the transport's counters and latency distribution.
@@ -99,6 +114,7 @@ struct SocketServerStats {
   std::uint64_t connections_closed = 0;
   std::uint64_t frames_in = 0;
   std::uint64_t queries = 0;
+  std::uint64_t updates = 0;
   std::uint64_t stats_requests = 0;
   std::uint64_t replies_sent = 0;
   std::uint64_t protocol_errors = 0;
@@ -169,6 +185,8 @@ class SocketServer {
   void ReadFromConnection(Connection& c) TSD_REQUIRES(event_loop_role_);
   void ParseFrames(Connection& c) TSD_REQUIRES(event_loop_role_);
   void DispatchFrame(Connection& c, const char* payload, std::size_t size)
+      TSD_REQUIRES(event_loop_role_);
+  UpdateAckOutcome ApplyUpdate(bool insert, std::uint64_t u, std::uint64_t v)
       TSD_REQUIRES(event_loop_role_);
   void ProtocolError(Connection& c, const std::string& message)
       TSD_REQUIRES(event_loop_role_);

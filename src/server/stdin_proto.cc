@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "server/live_index.h"
 
 namespace tsd {
 namespace {
@@ -37,14 +38,21 @@ bool ParseU64(const std::string& token, std::uint64_t* out) {
 class ReplyReorderBuffer {
  public:
   void Add(std::uint64_t id, Future<ServeReply> future) {
-    entries_.push_back(Entry{id, std::move(future), std::nullopt});
+    entries_.push_back(Entry{id, std::move(future), std::nullopt, {}});
     Harvest();
+  }
+
+  /// Enqueues an already-rendered transcript chunk (update acks) at its
+  /// position in submission order; emitted verbatim by FlushTo.
+  void AddText(std::string text) {
+    entries_.push_back(Entry{0, Future<ServeReply>(), std::nullopt,
+                             std::move(text)});
   }
 
   void Harvest() {
     for (std::size_t i = harvested_; i < entries_.size(); ++i) {
       Entry& entry = entries_[i];
-      if (!entry.reply.has_value()) {
+      if (!entry.text.has_value() && !entry.reply.has_value()) {
         if (!entry.future.Ready()) break;  // prefix only: keep it O(1)-ish
         entry.reply = entry.future.Get();
       }
@@ -52,8 +60,24 @@ class ReplyReorderBuffer {
     }
   }
 
+  /// Blocks until every outstanding reply is ready, without emitting
+  /// anything — the update barrier: an update applied after WaitAll is
+  /// ordered after every previously submitted query.
+  void WaitAll() {
+    for (Entry& entry : entries_) {
+      if (!entry.text.has_value() && !entry.reply.has_value()) {
+        entry.reply = entry.future.Get();
+      }
+    }
+    harvested_ = entries_.size();
+  }
+
   void FlushTo(std::ostream& out) {
     for (Entry& entry : entries_) {
+      if (entry.text.has_value()) {
+        out << *entry.text;
+        continue;
+      }
       const ServeReply reply =
           entry.reply.has_value() ? std::move(*entry.reply)
                                   : entry.future.Get();  // blocks in id order
@@ -68,6 +92,7 @@ class ReplyReorderBuffer {
     std::uint64_t id;
     Future<ServeReply> future;
     std::optional<ServeReply> reply;  // harvested, not yet emitted
+    std::optional<std::string> text;  // pre-rendered (update ack) entry
   };
 
   std::deque<Entry> entries_;  // ascending id (appended in submission order)
@@ -76,10 +101,23 @@ class ReplyReorderBuffer {
 
 }  // namespace
 
-ProtoLineKind ParseProtoLine(const std::string& line, ServeRequest* request) {
+ProtoLineKind ParseProtoLine(const std::string& line, ServeRequest* request,
+                             ProtoUpdate* update) {
   const std::vector<std::string> tokens = SplitWhitespace(line);
   if (tokens.empty() || tokens[0][0] == '#') return ProtoLineKind::kSkip;
   if (tokens[0] == "flush" && tokens.size() == 1) return ProtoLineKind::kFlush;
+  if ((tokens[0][0] == '+' || tokens[0][0] == '-') && tokens.size() == 2 &&
+      update != nullptr) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (ParseU64(tokens[0].substr(1), &u) && ParseU64(tokens[1], &v)) {
+      update->insert = tokens[0][0] == '+';
+      update->u = u;
+      update->v = v;
+      return ProtoLineKind::kUpdate;
+    }
+    return ProtoLineKind::kError;
+  }
   std::uint64_t tenant = 0;
   std::uint64_t k = 0;
   std::uint64_t r = 0;
@@ -121,7 +159,8 @@ void AppendReplyTranscript(std::ostream& out, std::uint64_t id,
 }
 
 StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
-                              ServeSubmitter& loop) {
+                              ServeSubmitter& loop,
+                              LiveUpdateApplier* updater) {
   StdinProtoStats stats;
   ReplyReorderBuffer outstanding;
   std::uint64_t next_id = 1;
@@ -130,7 +169,8 @@ StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
   while (std::getline(in, line)) {
     ++line_number;
     ServeRequest request;
-    switch (ParseProtoLine(line, &request)) {
+    ProtoUpdate update;
+    switch (ParseProtoLine(line, &request, &update)) {
       case ProtoLineKind::kSkip:
         break;
       case ProtoLineKind::kFlush:
@@ -141,6 +181,22 @@ StdinProtoStats RunStdinProto(std::istream& in, std::ostream& out,
         outstanding.Add(next_id++, loop.Submit(request));
         ++stats.requests;
         break;
+      case ProtoLineKind::kUpdate: {
+        // Update barrier (header comment): earlier queries finish against
+        // the pre-update index; later queries are submitted only after the
+        // update returns.
+        outstanding.WaitAll();
+        const std::uint64_t id = next_id++;
+        const char* ack = "update-unsupported";
+        if (updater != nullptr) {
+          ack = updater->ApplyUpdate(update.insert, update.u, update.v)
+                    ? "applied"
+                    : "noop";
+        }
+        outstanding.AddText("= " + std::to_string(id) + " " + ack + "\n");
+        ++stats.updates;
+        break;
+      }
       case ProtoLineKind::kError:
         out << "! parse-error line " << line_number << "\n";
         ++stats.parse_errors;

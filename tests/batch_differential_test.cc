@@ -293,5 +293,47 @@ TEST(BatchWorkspaceReuseTest, RepeatedIndexQueriesDoNotGrowScratch) {
   EXPECT_EQ(scratch.capacity_bytes(), high_water);
 }
 
+// The dynamic index's hot path holds the same property: Score and
+// ScoreWithContexts through one IndexQueryScratch allocate nothing new
+// once warm — including across updates, since rebuilt forest slices stay
+// within the same universe and the scratch high-water mark already covers
+// the largest per-vertex forest.
+TEST(BatchWorkspaceReuseTest, DynamicIndexQueriesDoNotGrowScratch) {
+  const Graph g = HolmeKim(200, 5, 0.6, 11);
+  DynamicTsdIndex dynamic(g);
+  IndexQueryScratch scratch;
+  auto run_all = [&] {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (std::uint32_t k : {2u, 3u, 4u}) {
+        dynamic.Score(v, k, scratch);
+        dynamic.ScoreWithContexts(v, k, scratch);
+      }
+    }
+  };
+  run_all();  // warm-up
+  const std::size_t high_water = scratch.capacity_bytes();
+  EXPECT_GT(high_water, 0u);
+  for (int i = 0; i < 3; ++i) run_all();
+  EXPECT_EQ(scratch.capacity_bytes(), high_water);
+
+  // Steady state survives live churn: updates rebuild forests but queries
+  // still reuse the warmed scratch.
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const VertexId u = static_cast<VertexId>(rng.Uniform(g.num_vertices()));
+    const VertexId v = static_cast<VertexId>(rng.Uniform(g.num_vertices()));
+    if (i % 3 == 0) {
+      dynamic.RemoveEdge(u, v);
+    } else {
+      dynamic.InsertEdge(u, v);
+    }
+  }
+  run_all();
+  EXPECT_GE(scratch.capacity_bytes(), high_water);
+  const std::size_t churned_high_water = scratch.capacity_bytes();
+  for (int i = 0; i < 3; ++i) run_all();
+  EXPECT_EQ(scratch.capacity_bytes(), churned_high_water);
+}
+
 }  // namespace
 }  // namespace tsd

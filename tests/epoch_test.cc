@@ -1,0 +1,166 @@
+// Tests for the epoch-based reclamation substrate (common/epoch.h): grace
+// period accounting, pin/advance interaction, slot pooling, and a
+// multithreaded pointer-swap stress that the sanitizer CI matrix (ASan,
+// TSan) turns into a use-after-free / data-race detector.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/epoch.h"
+
+namespace tsd {
+namespace {
+
+struct Tracked {
+  explicit Tracked(std::atomic<int>& counter) : alive(&counter) {
+    alive->fetch_add(1);
+  }
+  ~Tracked() { alive->fetch_sub(1); }
+  std::atomic<int>* alive;
+};
+
+TEST(EpochManagerTest, RetireFreesOnlyAfterGracePeriod) {
+  EpochManager epochs;
+  // Single-threaded test body: this thread is trivially the serialized
+  // writer.
+  epochs.AssertWriter();
+  std::atomic<int> alive{0};
+  epochs.Retire(new Tracked(alive));
+  EXPECT_EQ(alive.load(), 1);
+  EXPECT_EQ(epochs.limbo_size(), 1u);
+
+  // Retired at epoch 0 -> freed when bucket 0 expires, i.e. at the 2 -> 3
+  // advance (two full grace periods later).
+  EXPECT_TRUE(epochs.TryAdvance());
+  EXPECT_EQ(alive.load(), 1);
+  EXPECT_TRUE(epochs.TryAdvance());
+  EXPECT_EQ(alive.load(), 1);
+  EXPECT_TRUE(epochs.TryAdvance());
+  EXPECT_EQ(alive.load(), 0);
+  EXPECT_EQ(epochs.limbo_size(), 0u);
+
+  const EpochStats stats = epochs.stats();
+  EXPECT_EQ(stats.epoch, 3u);
+  EXPECT_EQ(stats.advances, 3u);
+  EXPECT_EQ(stats.retired, 1u);
+  EXPECT_EQ(stats.freed, 1u);
+}
+
+TEST(EpochManagerTest, DestructorFreesLimbo) {
+  std::atomic<int> alive{0};
+  {
+    EpochManager epochs;
+    epochs.AssertWriter();  // single-threaded test body
+    epochs.Retire(new Tracked(alive));
+    epochs.Retire(new Tracked(alive));
+    EXPECT_EQ(alive.load(), 2);
+  }
+  EXPECT_EQ(alive.load(), 0);
+}
+
+TEST(EpochManagerTest, PinnedReaderBlocksAdvance) {
+  EpochManager epochs;
+  epochs.AssertWriter();  // single-threaded test body
+  EpochManager::ReaderSlot* slot = epochs.AcquireSlot();
+  epochs.Pin(slot);
+  EXPECT_FALSE(epochs.TryAdvance());
+  EXPECT_EQ(epochs.epoch(), 0u);
+  EXPECT_GE(epochs.stats().stalled_advances, 1u);
+  epochs.Unpin(slot);
+  EXPECT_TRUE(epochs.TryAdvance());
+  EXPECT_EQ(epochs.epoch(), 1u);
+
+  // A reader pinned to a *stale* epoch blocks too: re-pin is required to
+  // observe the new epoch.
+  epochs.Pin(slot);
+  EXPECT_FALSE(epochs.TryAdvance());
+  epochs.Unpin(slot);
+  epochs.ReleaseSlot(slot);
+  EXPECT_TRUE(epochs.TryAdvance());
+}
+
+TEST(EpochManagerTest, SlotsArePooled) {
+  EpochManager epochs;
+  EpochManager::ReaderSlot* a = epochs.AcquireSlot();
+  epochs.ReleaseSlot(a);
+  EpochManager::ReaderSlot* b = epochs.AcquireSlot();
+  EXPECT_EQ(a, b);  // reused, not reallocated
+  EpochManager::ReaderSlot* c = epochs.AcquireSlot();
+  EXPECT_NE(b, c);  // b still in use: a second slot is created
+  epochs.ReleaseSlot(b);
+  epochs.ReleaseSlot(c);
+  EXPECT_EQ(epochs.stats().reader_slots, 2u);
+}
+
+TEST(EpochManagerTest, GuardPinsForScope) {
+  EpochManager epochs;
+  epochs.AssertWriter();  // single-threaded test body
+  {
+    EpochGuard guard(epochs);
+    EXPECT_FALSE(epochs.TryAdvance());
+  }
+  EXPECT_TRUE(epochs.TryAdvance());
+}
+
+// The canonical EBR usage: a writer atomically swaps a published node and
+// retires the old one while readers chase the pointer under a guard. ASan
+// fails this on any premature free; TSan on any unsynchronized access. The
+// generation counter inside the node lets readers assert they never observe
+// a torn or reclaimed payload even in a plain build.
+TEST(EpochStressTest, ConcurrentReadersNeverSeeReclaimedMemory) {
+  struct Node {
+    explicit Node(std::uint64_t g) : generation(g), check(~g) {}
+    std::uint64_t generation;
+    std::uint64_t check;  // ~generation; corrupted reads fail the invariant
+  };
+
+  EpochManager epochs;
+  std::atomic<Node*> head{new Node(0)};
+  std::atomic<bool> stop{false};
+  constexpr int kReaders = 4;
+  constexpr std::uint64_t kUpdates = 20000;
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      std::uint64_t last_seen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochGuard guard(epochs);
+        const Node* node = head.load(std::memory_order_acquire);
+        const std::uint64_t g = node->generation;
+        ASSERT_EQ(node->check, ~g);       // payload intact (no reclaim)
+        ASSERT_GE(g, last_seen);          // generations move forward
+        ASSERT_LE(g, kUpdates);
+        last_seen = g;
+      }
+    });
+  }
+
+  {
+    // Writer side: this thread is the only one calling Retire/TryAdvance
+    // for the whole test, which is exactly the serialized-writer contract.
+    epochs.AssertWriter();
+    for (std::uint64_t g = 1; g <= kUpdates; ++g) {
+      Node* fresh = new Node(g);
+      Node* old = head.exchange(fresh, std::memory_order_acq_rel);
+      epochs.Retire(old);
+      epochs.TryAdvance();  // opportunistic; failure just defers the free
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  const EpochStats stats = epochs.stats();
+  EXPECT_EQ(stats.retired, kUpdates);
+  EXPECT_LE(stats.freed, stats.retired);
+  delete head.load();
+  // Whatever is still in limbo is freed by the manager's destructor; the
+  // Tracked-based tests above pin down that behaviour exactly.
+}
+
+}  // namespace
+}  // namespace tsd

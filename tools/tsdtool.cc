@@ -1,8 +1,8 @@
 // tsdtool — command-line interface to the library.
 //
 //   tsdtool stats  <edge-list>                     graph + trussness stats
-//   tsdtool topr   <edge-list> [--k=3] [--r=10] [--method=gct|tsd|online|
-//                                       bound|comp|core]
+//   tsdtool topr   <edge-list> [--k=3] [--r=10] [--method=gct|tsd|dynamic|
+//                                       online|bound|comp|core]
 //   tsdtool batch  <edge-list> --k=4,6,8 [--r=10] [--method=gct]
 //   tsdtool score  <edge-list> --v=<id> [--k=3]    one vertex + contexts
 //   tsdtool build  <edge-list> --out=<snap> [--index=gct|tsd|both]
@@ -31,12 +31,14 @@
 #include "common/timer.h"
 #include "core/baselines.h"
 #include "core/bound_search.h"
+#include "core/dynamic_tsd_index.h"
 #include "core/gct_index.h"
 #include "core/online_search.h"
 #include "core/tsd_index.h"
 #include "core/query_pipeline.h"
 #include "graph/edge_list_io.h"
 #include "graph/generators.h"
+#include "server/live_index.h"
 #include "server/sharded_serve.h"
 #include "server/socket_proto.h"
 #include "server/socket_serve.h"
@@ -83,7 +85,10 @@ int Usage() {
       "                                            concurrent query server\n"
       "                                            driven by a line protocol\n"
       "                                            on stdin ('q <tenant> <k>\n"
-      "                                            <r>' / 'flush'); replies\n"
+      "                                            <r>', '+u v' / '-u v'\n"
+      "                                            updates with\n"
+      "                                            --method=dynamic,\n"
+      "                                            'flush'); replies\n"
       "                                            in submission order on\n"
       "                                            stdout, byte-stable at\n"
       "                                            any --threads/--shards.\n"
@@ -227,6 +232,9 @@ struct SearcherHolder {
   std::unique_ptr<DiversitySearcher> searcher;
   std::unique_ptr<TsdIndex> tsd;
   std::unique_ptr<GctIndex> gct;
+  /// Live-updatable index (--method=dynamic); the serve command wires its
+  /// LiveUpdateApplier into the transports' "+u v" / "-u v" lines.
+  std::unique_ptr<DynamicTsdIndex> dynamic;
   DiversitySearcher* active = nullptr;
 };
 
@@ -249,12 +257,16 @@ SearcherHolder MakeSearcher(GraphSource& source, const std::string& method) {
     holder.searcher = std::make_unique<CompDivSearcher>(g);
   } else if (method == "core") {
     holder.searcher = std::make_unique<CoreDivSearcher>(g);
+  } else if (method == "dynamic") {
+    holder.dynamic = std::make_unique<DynamicTsdIndex>(g);
   }
   holder.active = holder.searcher ? holder.searcher.get()
                   : holder.tsd
                       ? static_cast<DiversitySearcher*>(holder.tsd.get())
                   : holder.gct
                       ? static_cast<DiversitySearcher*>(holder.gct.get())
+                  : holder.dynamic
+                      ? static_cast<DiversitySearcher*>(holder.dynamic.get())
                       : nullptr;
   return holder;
 }
@@ -541,6 +553,13 @@ int RunServe(GraphSource& source, const Flags& flags) {
 
   ShardedServeLoop loop(*holder.active, options);
 
+  // Live-update sink for "+u v" / "-u v" lines (and kUpdateFrame), present
+  // only when the index is dynamic; other methods ack update-unsupported.
+  std::unique_ptr<LiveUpdateApplier> updater;
+  if (holder.dynamic != nullptr) {
+    updater = std::make_unique<LiveUpdateApplier>(*holder.dynamic);
+  }
+
   if (listen) {
     SocketServerOptions server_options;
     server_options.bind_address = flags.GetString("bind", "127.0.0.1");
@@ -550,7 +569,12 @@ int RunServe(GraphSource& source, const Flags& flags) {
         std::max<std::int64_t>(0, flags.GetInt("drain-ms", 5000)));
     server_options.max_outbound_bytes = static_cast<std::size_t>(
         std::max<std::int64_t>(4096, flags.GetInt("max-outbound", 1 << 20)));
-    server_options.extra_stats = [&loop] { return RenderShardTable(loop); };
+    server_options.extra_stats = [&loop, &updater] {
+      std::string text = RenderShardTable(loop);
+      if (updater != nullptr) text += "\n" + updater->RenderStatsTables();
+      return text;
+    };
+    server_options.updater = updater.get();
 
     SocketServer server(loop, server_options);
     server.Start();
@@ -572,10 +596,12 @@ int RunServe(GraphSource& source, const Flags& flags) {
     return 0;
   }
 
-  const StdinProtoStats driver = RunStdinProto(std::cin, std::cout, loop);
+  const StdinProtoStats driver =
+      RunStdinProto(std::cin, std::cout, loop, updater.get());
   loop.Shutdown();
   PrintServeDiagnostics(loop, holder.active->name(), driver.requests,
                         driver.parse_errors);
+  if (updater != nullptr) std::cerr << updater->RenderStatsTables();
   return 0;
 }
 
